@@ -1,0 +1,53 @@
+"""Shared configuration for the per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the
+``BENCH_SCALE`` profile (seconds per scenario instead of the paper's
+hours) and prints the regenerated artifact.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Use :data:`repro.experiments.PAPER_SCALE` in the experiment drivers for
+a full-scale validation run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import ExperimentScale
+from repro.media.frames import FrameSpec
+
+#: The benchmark suite's scale: small frames, short sessions.
+BENCH_SCALE = ExperimentScale(
+    sessions=2,
+    lag_session_duration_s=12.0,
+    qoe_session_duration_s=8.0,
+    content_spec=FrameSpec(128, 96, 12),
+    probe_count=10,
+    score_frames=24,
+    seed=11,
+)
+
+
+@pytest.fixture
+def scale():
+    """The benchmark scale profile."""
+    return BENCH_SCALE
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a regenerated artifact to the real terminal."""
+
+    def _emit(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(body)
+
+    return _emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

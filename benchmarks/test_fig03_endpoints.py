@@ -1,0 +1,60 @@
+"""Figure 3 + Section 4.2 endpoint churn statistics.
+
+Regenerates the service-endpoint architecture comparison: one shared
+endpoint per session on Zoom/Webex versus per-client distributed
+endpoints on Meet; fresh endpoints nearly every session on Zoom/Webex
+(the paper's 20 and 19.5 distinct endpoints over 20 sessions) versus
+sticky endpoints on Meet (1.8); and Zoom's two-party peer-to-peer mode.
+"""
+
+from repro.analysis.tables import TextTable
+from repro.experiments.endpoint_study import p2p_check, run_endpoint_study
+
+from .conftest import run_once
+
+
+def test_fig03_endpoint_architecture(benchmark, emit, scale):
+    def run():
+        results = {}
+        for platform in ("zoom", "webex", "meet"):
+            results[platform] = run_endpoint_study(
+                platform, sessions=10, scale=scale
+            )
+        return results
+
+    results = run_once(benchmark, run)
+
+    table = TextTable(
+        ["Platform", "Endpoints/session", "Distinct per client (10 sess.)",
+         "Paper (20 sess.)", "Port"]
+    )
+    per_session = {}
+    for platform, result in results.items():
+        sessions = result.endpoints_per_session()
+        per_session[platform] = sessions
+        paper = {"zoom": "20", "webex": "19.5", "meet": "1.8"}[platform]
+        table.add_row(
+            [
+                platform,
+                f"{min(sessions)}-{max(sessions)}",
+                f"{result.mean_endpoints_per_client():.1f}",
+                paper,
+                sorted(result.ports),
+            ]
+        )
+    emit("Figure 3: service endpoint architecture", table.render())
+
+    # Zoom/Webex: single relay per session; Meet: one per client site.
+    assert all(n == 1 for n in per_session["zoom"])
+    assert all(n == 1 for n in per_session["webex"])
+    assert all(n >= 2 for n in per_session["meet"])
+    # Churn: fresh endpoints vs sticky endpoints.
+    assert results["zoom"].mean_endpoints_per_client() == 10.0
+    assert results["webex"].mean_endpoints_per_client() >= 8.5
+    assert results["meet"].mean_endpoints_per_client() <= 3.0
+    # Designated ports.
+    assert results["zoom"].ports == {8801}
+    assert results["webex"].ports == {9000}
+    assert results["meet"].ports == {19305}
+    # Footnote 2: two-party Zoom streams peer-to-peer.
+    assert p2p_check(scale=scale)

@@ -1,0 +1,66 @@
+"""Figures 8-11: service proximity (RTT to service endpoints).
+
+Regenerates the per-client RTT strips for the four host scenarios from
+the same lag-study sessions, and asserts the architectural signatures:
+Zoom/Webex RTTs track distance to the (US) relay while Meet RTTs are
+uniformly small; Webex European RTTs are pinned at trans-Atlantic
+values; Zoom European RTTs spread across relay-site bands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import TextTable
+from repro.experiments.lag_study import run_lag_scenario
+
+from .conftest import run_once
+
+SCENARIOS = {
+    "fig8": ("US-East", "US", "Figure 8: RTTs, host in US-east"),
+    "fig9": ("US-West", "US", "Figure 9: RTTs, host in US-west"),
+    "fig10": ("UK-West", "Europe", "Figure 10: RTTs, host in UK-west"),
+    "fig11": ("CH", "Europe", "Figure 11: RTTs, host in Switzerland"),
+}
+
+
+@pytest.mark.parametrize("figure", ["fig8", "fig9", "fig10", "fig11"])
+def test_rtt_figure(benchmark, emit, scale, figure):
+    host, group, title = SCENARIOS[figure]
+
+    def run():
+        return {
+            platform: run_lag_scenario(platform, host, group, scale=scale)
+            for platform in ("zoom", "webex", "meet")
+        }
+
+    results = run_once(benchmark, run)
+
+    table = TextTable(["Client"] + list(results))
+    receivers = sorted(next(iter(results.values())).rtts_ms)
+    mean_rtts = {p: {} for p in results}
+    for receiver in receivers:
+        row = [receiver]
+        for platform, result in results.items():
+            value = float(np.nanmean(result.rtts_ms[receiver]))
+            mean_rtts[platform][receiver] = value
+            row.append(f"{value:5.1f}")
+        table.add_row(row)
+    emit(title, table.render())
+
+    meet_values = list(mean_rtts["meet"].values())
+    if group == "US":
+        # Meet's distributed endpoints: uniformly low RTTs (Fig. 8c).
+        assert max(meet_values) < 35
+        # Zoom/Webex RTT spread reflects distance to the relay.
+        for platform in ("zoom", "webex"):
+            values = list(mean_rtts[platform].values())
+            assert max(values) - min(values) > 20
+    else:
+        # Fig. 10c/11c: Meet stays in-continent.
+        assert max(meet_values) < 30
+        # Fig. 10b/11b: Webex pinned at trans-Atlantic RTTs.
+        webex_values = list(mean_rtts["webex"].values())
+        assert all(70 <= v <= 120 for v in webex_values)
+        # Fig. 10a/11a: Zoom at or above trans-Atlantic, up to west-coast.
+        zoom_values = list(mean_rtts["zoom"].values())
+        assert all(75 <= v <= 170 for v in zoom_values)

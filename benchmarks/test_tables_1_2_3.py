@@ -1,0 +1,92 @@
+"""Tables 1-3: platform minimums, device specs, VM deployment.
+
+These tables are configuration-derived; the benchmarks verify that the
+library reproduces them from its models and print them in the paper's
+layout.
+"""
+
+from repro.analysis.tables import TextTable
+from repro.clients.android import ANDROID_DEVICES
+from repro.net.regions import default_registry
+from repro.platforms import make_platform
+from repro.platforms.base import StreamLayer
+from repro.platforms.ratecontrol import RateContext
+
+from .conftest import run_once
+
+
+def test_table1_min_bandwidth(benchmark, emit):
+    """Table 1: one-on-one call rates by platform.
+
+    The paper quotes operator-published minimums; our models' realised
+    two-party rates must sit at or above them (the paper notes its
+    measurements are "consistent with these requirements").
+    """
+
+    def build():
+        table = TextTable(["System", "Model 1:1 rate", "Paper low", "Paper high"])
+        published = {
+            "zoom": ("600 Kbps", "--"),
+            "webex": ("500 Kbps", "2.5 Mbps"),
+            "meet": ("1 Mbps", "2.6 Mbps"),
+        }
+        rows = {}
+        for name in ("zoom", "webex", "meet"):
+            platform = make_platform(name)
+            rate = platform.video_rates(RateContext(num_participants=2))
+            mbps = rate[StreamLayer.HIGH] / 1e6
+            low, high = published[name]
+            table.add_row([name.capitalize(), f"{mbps:.2f} Mbps", low, high])
+            rows[name] = mbps
+        return table, rows
+
+    table, rows = run_once(benchmark, build)
+    emit("Table 1: minimum bandwidth for one-on-one calls", table.render())
+    assert rows["zoom"] >= 0.6
+    assert rows["webex"] >= 0.5
+    assert rows["meet"] >= 1.0
+
+
+def test_table2_devices(benchmark, emit):
+    """Table 2: Android device characteristics."""
+
+    def build():
+        table = TextTable(
+            ["Name", "Android Ver.", "CPU Info", "Memory", "Screen Resolution"]
+        )
+        for short in ("J3", "S10"):
+            device = ANDROID_DEVICES[short]
+            cores = {4: "Quad-core", 8: "Octa-core"}[device.cpu_cores]
+            width, height = device.screen_resolution
+            table.add_row(
+                [
+                    device.name,
+                    device.android_version,
+                    cores,
+                    f"{device.memory_gb}GB",
+                    f"{width}x{height}",
+                ]
+            )
+        return table
+
+    table = run_once(benchmark, build)
+    emit("Table 2: Android devices", table.render())
+    assert "Quad-core" in table.render()
+    assert "1440x3040" in table.render()
+
+
+def test_table3_regions(benchmark, emit):
+    """Table 3: VM locations/counts for streaming lag testing."""
+
+    def build():
+        registry = default_registry()
+        table = TextTable(["Region", "Name", "Count"])
+        for group in ("US", "Europe"):
+            for region in registry.by_group(group):
+                table.add_row([group, region.name, region.vm_count])
+        return registry, table
+
+    registry, table = run_once(benchmark, build)
+    emit("Table 3: VM locations", table.render())
+    assert len(registry.vm_names("US")) == 7
+    assert len(registry.vm_names("Europe")) == 7

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Streaming under bandwidth constraints: the Section 4.4 experiment.
+
+Applies tc/ifb-style ingress caps (250 Kbps - 1 Mbps) to a receiving
+client, streams high-motion video plus speech audio through each
+platform, and reports video PSNR and audio MOS-LQO -- Figures 17-18.
+
+Run:  python examples/constrained_network.py
+"""
+
+from repro import SessionConfig, Testbed
+from repro.analysis.tables import TextTable
+from repro.core.postprocess import score_recorded_audio, score_recorded_video
+from repro.media.frames import FrameSpec
+from repro.units import kbps, mbps
+
+CAPS = [kbps(250), kbps(500), mbps(1), None]
+CAPPED = "US-East2"
+
+
+def label(cap):
+    if cap is None:
+        return "Infinite"
+    return f"{cap / 1e3:.0f}Kbps" if cap < 1e6 else f"{cap / 1e6:.0f}Mbps"
+
+
+def main() -> None:
+    video = TextTable(["Platform"] + [label(c) for c in CAPS])
+    audio = TextTable(["Platform"] + [label(c) for c in CAPS])
+
+    for platform in ("zoom", "webex", "meet"):
+        testbed = Testbed()
+        for name in ("US-East", CAPPED, "US-Central"):
+            testbed.add_vm(name)
+        names = ["US-East", CAPPED, "US-Central"]
+        psnr_row, mos_row = [platform], [platform]
+        for cap in CAPS:
+            testbed.apply_bandwidth_cap(CAPPED, cap)
+            config = SessionConfig(
+                duration_s=20.0,
+                feed="high",
+                pad_fraction=0.15,
+                audio=True,
+                content_spec=FrameSpec(160, 120, 15),
+                probes=False,
+                record_video=True,
+                record_audio=True,
+                gop_size=30,
+            )
+            artifacts = testbed.run_session(platform, names, "US-East", config)
+            report = score_recorded_video(
+                artifacts.padded_feed,
+                artifacts.recorders[CAPPED].frames,
+                skip_leading=150,      # score the adapted steady state
+                compute_vifp=False,
+                max_frames=60,
+            )
+            flow = artifacts.wiring.audio_flow("US-East")
+            mos = score_recorded_audio(
+                artifacts.audio_source.read_duration(0, config.duration_s),
+                artifacts.recorded_audio(CAPPED, flow),
+            )
+            psnr_row.append(f"{report.mean_psnr:.1f}")
+            mos_row.append(f"{mos:.2f}")
+            print(f"{platform} @ {label(cap)}: PSNR {report.mean_psnr:.1f}, "
+                  f"MOS {mos:.2f}")
+            testbed.apply_bandwidth_cap(CAPPED, None)
+        video.add_row(psnr_row)
+        audio.add_row(mos_row)
+
+    print("\nVideo PSNR under download rate limits (Fig. 17):")
+    print(video.render())
+    print("\nAudio MOS-LQO under download rate limits (Fig. 18):")
+    print(audio.render())
+    print(
+        "\nPaper shapes: Webex video stalls/disappears at <= 1 Mbps and its"
+        "\naudio deteriorates below 500 Kbps; Zoom and Meet adapt, keeping"
+        "\naudio MOS virtually constant."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Infrastructure mapping: where does each platform relay from?
+
+Reproduces the Section 4.2 black-box methodology end to end: run
+repeated sessions from both continents, let each client's monitor
+discover its streaming endpoints from traffic, probe them for RTTs,
+and infer the platforms' geographic footprints -- the evidence behind
+Findings 1-2 and Figure 3.
+
+Run:  python examples/infrastructure_map.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import TextTable
+from repro.experiments.endpoint_study import p2p_check, run_endpoint_study
+from repro.experiments.lag_study import run_lag_scenario
+from repro.experiments.scale import ExperimentScale
+from repro.media.frames import FrameSpec
+
+SCALE = ExperimentScale(
+    sessions=3,
+    lag_session_duration_s=10.0,
+    content_spec=FrameSpec(128, 96, 12),
+    probe_count=8,
+)
+
+
+def classify_rtt(rtt_ms: float, continent: str) -> str:
+    """Rough location inference from an RTT, like the paper's analysis."""
+    if continent == "Europe":
+        if rtt_ms < 25:
+            return "in-continent"
+        if rtt_ms < 120:
+            return "trans-Atlantic (US-east?)"
+        return "US-central/west"
+    return "near" if rtt_ms < 25 else "cross-country"
+
+
+def main() -> None:
+    print("Churn study: distinct endpoints per client over "
+          f"{2 * SCALE.sessions} sessions")
+    churn = TextTable(["Platform", "Endpoints/client", "Ports",
+                       "Architecture"])
+    for platform in ("zoom", "webex", "meet"):
+        result = run_endpoint_study(
+            platform, scale=SCALE, sessions=2 * SCALE.sessions
+        )
+        per_session = result.endpoints_per_session()
+        architecture = (
+            "single relay/session" if max(per_session) == 1
+            else "per-client endpoints"
+        )
+        churn.add_row(
+            [platform, f"{result.mean_endpoints_per_client():.1f}",
+             sorted(result.ports), architecture]
+        )
+    print(churn.render())
+    print(f"\nZoom two-party peer-to-peer mode: "
+          f"{'confirmed' if p2p_check(scale=SCALE) else 'NOT observed'}")
+
+    print("\nFootprint inference from endpoint RTTs (host CH, EU clients):")
+    table = TextTable(["Platform", "Client", "RTT (ms)", "Inferred relay"])
+    for platform in ("zoom", "webex", "meet"):
+        result = run_lag_scenario(platform, "CH", "Europe", scale=SCALE)
+        for client in sorted(result.rtts_ms):
+            rtt = float(np.nanmean(result.rtts_ms[client]))
+            table.add_row(
+                [platform, client, f"{rtt:.1f}", classify_rtt(rtt, "Europe")]
+            )
+    print(table.render())
+    print(
+        "\nPaper's conclusions (Finding-2): Zoom and Webex are US-based"
+        "\n(European RTTs at or above trans-Atlantic), with Zoom load-"
+        "\nbalancing across multiple US sites; Meet's endpoints are"
+        "\nin-continent, which is why its European lag is the lowest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Mobile resource profiling: the Section 5 Android testbed.
+
+A cloud host streams to a Samsung S10 and J3 behind residential WiFi;
+the harness samples CPU every three seconds, meters the J3's battery,
+and measures per-device data rates across the paper's UI scenarios
+(full screen / gallery / camera on / screen off) -- Figure 19.
+
+Run:  python examples/mobile_profile.py
+"""
+
+from repro.analysis.tables import TextTable
+from repro.experiments.mobile_study import MOBILE_SCENARIOS, run_mobile_scenario
+from repro.experiments.scale import ExperimentScale
+from repro.media.frames import FrameSpec
+
+
+def main() -> None:
+    scale = ExperimentScale(
+        sessions=1,
+        qoe_session_duration_s=20.0,
+        content_spec=FrameSpec(160, 120, 15),
+    )
+
+    table = TextTable(
+        ["Platform", "Scenario", "S10 CPU%", "S10 Mbps",
+         "J3 CPU%", "J3 Mbps", "J3 battery/h"]
+    )
+    for platform in ("zoom", "webex", "meet"):
+        for scenario in MOBILE_SCENARIOS:
+            result = run_mobile_scenario(platform, scenario, scale=scale)
+            s10 = result.readings["S10"]
+            j3 = result.readings["J3"]
+            # Scale the measured discharge to a one-hour call.
+            hourly = j3.discharge_mah * 3600.0 / scale.qoe_session_duration_s
+            drain = hourly / 2600.0
+            table.add_row(
+                [
+                    platform,
+                    scenario,
+                    f"{s10.median_cpu_pct:.0f}",
+                    f"{s10.mean_rate_mbps:.2f}",
+                    f"{j3.median_cpu_pct:.0f}",
+                    f"{j3.mean_rate_mbps:.2f}",
+                    f"{drain:.0%}",
+                ]
+            )
+            print(f"profiled {platform}/{scenario}")
+
+    print()
+    print(table.render())
+    print(
+        "\nPaper shapes (Fig. 19): 2-3 cores in use everywhere; Meet is the"
+        "\nmost bandwidth-hungry; gallery view halves Zoom's CPU and rate;"
+        "\nscreen-off saves up to half the battery, except Webex's CPU"
+        "\nstays ~125%. A one-hour camera-on call drains ~40% of the J3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""QoE shootout: the Section 4.3 protocol across all three platforms.
+
+A US-east host broadcasts the padded low- and high-motion feeds to two
+receivers; each receiver desktop-records the stream, the recordings are
+cropped/resized/aligned, and PSNR/SSIM/VIFp are computed against the
+injected video -- exactly the Figure 12 pipeline, at laptop scale.
+
+Run:  python examples/qoe_shootout.py
+"""
+
+from repro import SessionConfig, Testbed
+from repro.analysis.tables import TextTable
+from repro.core.postprocess import score_recorded_video
+from repro.media.frames import FrameSpec
+
+
+def main() -> None:
+    testbed = Testbed()
+    for name in ("US-East", "US-East2", "US-West"):
+        testbed.add_vm(name)
+    names = ["US-East", "US-East2", "US-West"]
+
+    table = TextTable(
+        ["Platform", "Motion", "PSNR", "SSIM", "VIFp", "Down Mbps"]
+    )
+    for platform in ("zoom", "webex", "meet"):
+        for motion in ("low", "high"):
+            config = SessionConfig(
+                duration_s=10.0,
+                feed=motion,
+                pad_fraction=0.15,        # the Fig. 13 padding
+                content_spec=FrameSpec(160, 120, 15),
+                probes=False,
+                record_video=True,
+                gop_size=30,
+            )
+            artifacts = testbed.run_session(platform, names, "US-East", config)
+            report = score_recorded_video(
+                artifacts.padded_feed,
+                artifacts.recorders["US-West"].frames,
+                max_frames=60,
+            )
+            rates = artifacts.rate_summary()
+            table.add_row(
+                [
+                    platform,
+                    motion,
+                    f"{report.mean_psnr:.1f}",
+                    f"{report.mean_ssim:.3f}",
+                    f"{report.mean_vifp:.3f}",
+                    f"{rates.mean_download_bps / 1e6:.2f}",
+                ]
+            )
+            print(f"scored {platform}/{motion}")
+
+    print()
+    print(table.render())
+    print(
+        "\nPaper shapes to look for (Figs. 12, 15): every platform loses"
+        "\nsignificant quality on the high-motion feed; Webex streams at"
+        "\nthe highest rate; Zoom delivers its QoE at the lowest rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro: a reproduction of "Can You See Me Now?" (IMC 2021).
+
+A measurement harness for videoconferencing systems -- emulated
+clients, packet-trace lag extraction, active RTT probing, QoE scoring
+-- together with simulation models of Zoom, Webex and Google Meet that
+reproduce the externally-observable behaviour the paper measures, over
+a geographic packet-level network simulator.
+
+Quickstart::
+
+    from repro import Testbed, SessionConfig
+
+    testbed = Testbed()
+    testbed.deploy_group("US")
+    names = testbed.registry.vm_names("US")
+    config = SessionConfig(duration_s=12.0, feed="flash", pad_fraction=0)
+    artifacts = testbed.run_session("zoom", names, "US-East", config)
+    for receiver in names[1:]:
+        lags = artifacts.lag_measurements(receiver)
+        print(receiver, sorted(m.lag_ms for m in lags)[len(lags) // 2])
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from .core.lag import LagDetector, LagMeasurement, measure_streaming_lag
+from .core.probing import ProbeResult, Prober
+from .core.session import MeetingSession, SessionArtifacts, SessionConfig
+from .core.testbed import Testbed, TestbedConfig
+from .errors import ReproError
+from .media.frames import FrameSpec
+from .net.routing import Network
+from .net.simulator import Simulator
+from .platforms import make_platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FrameSpec",
+    "LagDetector",
+    "LagMeasurement",
+    "MeetingSession",
+    "Network",
+    "ProbeResult",
+    "Prober",
+    "ReproError",
+    "SessionArtifacts",
+    "SessionConfig",
+    "Simulator",
+    "Testbed",
+    "TestbedConfig",
+    "__version__",
+    "make_platform",
+    "measure_streaming_lag",
+]

@@ -1,0 +1,24 @@
+"""Analysis toolbox: CDFs, summary statistics, text tables, figures.
+
+The paper presents results as CDFs (Figs. 4-7), scatter/strip plots of
+RTTs (Figs. 8-11), grouped bars (Figs. 12, 14-19) and tables.  This
+package computes those series from experiment results and renders them
+as aligned text tables and ASCII-art charts, so every artifact can be
+regenerated without a plotting stack.
+"""
+
+from .cdf import Cdf, cdf_table
+from .stats import describe, percentile
+from .tables import TextTable, format_rate_mbps
+from .figures import ascii_bar_chart, ascii_cdf
+
+__all__ = [
+    "Cdf",
+    "TextTable",
+    "ascii_bar_chart",
+    "ascii_cdf",
+    "cdf_table",
+    "describe",
+    "format_rate_mbps",
+    "percentile",
+]

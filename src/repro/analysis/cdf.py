@@ -1,0 +1,75 @@
+"""Empirical CDFs, the presentation of Figures 4-7."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass
+class Cdf:
+    """An empirical cumulative distribution function."""
+
+    values: np.ndarray
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "Cdf":
+        """Build a CDF from raw samples.
+
+        Raises:
+            AnalysisError: On an empty sample.
+        """
+        array = np.sort(np.asarray(list(samples), dtype=np.float64))
+        if array.size == 0:
+            raise AnalysisError("cannot build a CDF from no samples")
+        return cls(values=array)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self.values, x, side="right")) / len(self)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError(f"quantile out of range: {q}")
+        return float(np.quantile(self.values, q))
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.quantile(0.5)
+
+    def points(self, max_points: int = 200) -> List[Tuple[float, float]]:
+        """(x, F(x)) pairs suitable for plotting, thinned if large."""
+        n = len(self)
+        indices = (
+            np.arange(n)
+            if n <= max_points
+            else np.linspace(0, n - 1, max_points).astype(int)
+        )
+        return [
+            (float(self.values[i]), float((i + 1) / n)) for i in indices
+        ]
+
+
+def cdf_table(
+    series: dict[str, Sequence[float]], quantiles: Sequence[float] = (0.1, 0.5, 0.9)
+) -> dict[str, dict[float, float]]:
+    """Quantile summaries for a family of sample sets.
+
+    Args:
+        series: Label -> samples (e.g. one entry per receiving client).
+        quantiles: Quantiles to extract from each.
+    """
+    out: dict[str, dict[float, float]] = {}
+    for label, samples in series.items():
+        cdf = Cdf.from_samples(samples)
+        out[label] = {q: cdf.quantile(q) for q in quantiles}
+    return out

@@ -1,0 +1,43 @@
+"""Small statistics helpers shared by experiments and reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+def percentile(samples: Iterable[float], q: float) -> float:
+    """The q-th percentile (0-100) of a sample."""
+    array = np.asarray(list(samples), dtype=np.float64)
+    if array.size == 0:
+        raise AnalysisError("cannot take a percentile of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise AnalysisError(f"percentile out of range: {q}")
+    return float(np.percentile(array, q))
+
+
+def describe(samples: Iterable[float]) -> Dict[str, float]:
+    """Mean/std/median/p10/p90/min/max of a sample."""
+    array = np.asarray(list(samples), dtype=np.float64)
+    if array.size == 0:
+        raise AnalysisError("cannot describe an empty sample")
+    return {
+        "count": float(array.size),
+        "mean": float(array.mean()),
+        "std": float(array.std()),
+        "median": float(np.median(array)),
+        "p10": float(np.percentile(array, 10)),
+        "p90": float(np.percentile(array, 90)),
+        "min": float(array.min()),
+        "max": float(array.max()),
+    }
+
+
+def relative_change(before: float, after: float) -> float:
+    """(after - before) / before, guarding the degenerate base."""
+    if before == 0:
+        raise AnalysisError("relative change undefined for a zero base")
+    return (after - before) / before

@@ -1,0 +1,60 @@
+"""Aligned text tables: how benchmarks print the paper's tables."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import AnalysisError
+from ..units import to_mbps
+
+
+class TextTable:
+    """A simple column-aligned table renderer.
+
+    >>> t = TextTable(["a", "b"])
+    >>> t.add_row(["1", "2"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    a | b
+    --+--
+    1 | 2
+    """
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        if not headers:
+            raise AnalysisError("a table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        """Append a row (cells are str()-ed)."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise AnalysisError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """The table as an aligned string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        separator = "-+-".join("-" * w for w in widths)
+        lines = [fmt(self.headers), separator]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+
+def format_rate_mbps(rate_bps: float, digits: int = 2) -> str:
+    """Render a bits/second rate as the paper's Mbps numbers."""
+    return f"{to_mbps(rate_bps):.{digits}f}"
+
+
+def format_ms(seconds: float, digits: int = 1) -> str:
+    """Render seconds as milliseconds."""
+    return f"{seconds * 1e3:.{digits}f}"

@@ -1,0 +1,170 @@
+"""Command-line interface: run paper scenarios from the shell.
+
+Usage::
+
+    python -m repro.cli lag --platform zoom --host US-East --group US
+    python -m repro.cli endpoints --platform meet --sessions 10
+    python -m repro.cli qoe --platform webex --motion high -n 4
+    python -m repro.cli mobile --platform meet --scenario LM-View
+
+Each subcommand runs the corresponding experiment driver at a
+configurable scale and prints a paper-style table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis.tables import TextTable
+from .experiments.endpoint_study import run_endpoint_study
+from .experiments.lag_study import run_lag_scenario
+from .experiments.mobile_study import MOBILE_SCENARIOS, run_mobile_scenario
+from .experiments.qoe_study import EU_ROSTER, US_ROSTER, run_qoe_cell
+from .experiments.scale import ExperimentScale
+from .media.frames import FrameSpec
+
+PLATFORM_CHOICES = ("zoom", "webex", "meet")
+
+
+def _scale_from(args: argparse.Namespace) -> ExperimentScale:
+    return ExperimentScale(
+        sessions=args.sessions,
+        lag_session_duration_s=max(6.0, args.duration),
+        qoe_session_duration_s=max(5.0, args.duration),
+        content_spec=FrameSpec(160, 120, 15),
+        probe_count=args.probes,
+        seed=args.seed,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--platform", choices=PLATFORM_CHOICES, default="zoom")
+    parser.add_argument("--sessions", type=int, default=2)
+    parser.add_argument("--duration", type=float, default=12.0,
+                        help="session duration in seconds")
+    parser.add_argument("--probes", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def cmd_lag(args: argparse.Namespace) -> int:
+    result = run_lag_scenario(
+        args.platform, args.host, args.group, scale=_scale_from(args)
+    )
+    table = TextTable(["Receiver", "Median lag (ms)", "Mean RTT (ms)"])
+    for receiver in sorted(result.lags_ms):
+        rtt = float(np.nanmean(result.rtts_ms[receiver]))
+        table.add_row(
+            [receiver, f"{result.median_lag_ms(receiver):.1f}", f"{rtt:.1f}"]
+        )
+    print(table.render())
+    lo, hi = result.lag_range_ms()
+    print(f"\nmedian-lag band: {lo:.1f} - {hi:.1f} ms "
+          f"({args.platform}, host {args.host})")
+    return 0
+
+
+def cmd_endpoints(args: argparse.Namespace) -> int:
+    result = run_endpoint_study(
+        args.platform, scale=_scale_from(args), sessions=args.sessions
+    )
+    table = TextTable(["Client", "Distinct endpoints"])
+    for client, endpoints in sorted(result.per_client_endpoints.items()):
+        table.add_row([client, len(endpoints)])
+    print(table.render())
+    print(f"\nmean endpoints/client over {args.sessions} sessions: "
+          f"{result.mean_endpoints_per_client():.1f}; "
+          f"ports observed: {sorted(result.ports)}")
+    return 0
+
+
+def cmd_qoe(args: argparse.Namespace) -> int:
+    roster = US_ROSTER if args.region == "US" else EU_ROSTER
+    cell = run_qoe_cell(
+        args.platform,
+        args.motion,
+        args.participants,
+        roster=roster,
+        scale=_scale_from(args),
+        compute_vifp=not args.no_vifp,
+    )
+    table = TextTable(["Metric", "Mean", "Std"])
+    table.add_row(["PSNR (dB)", f"{cell.psnr_mean:.1f}", f"{cell.psnr_std:.1f}"])
+    table.add_row(["SSIM", f"{cell.ssim_mean:.3f}", f"{cell.ssim_std:.3f}"])
+    if not args.no_vifp:
+        table.add_row(
+            ["VIFp", f"{cell.vifp_mean:.3f}", f"{cell.vifp_std:.3f}"]
+        )
+    table.add_row(["Upload (Mbps)", f"{cell.upload_mbps:.2f}", ""])
+    table.add_row(["Download (Mbps)", f"{cell.download_mbps:.2f}", ""])
+    print(table.render())
+    return 0
+
+
+def cmd_mobile(args: argparse.Namespace) -> int:
+    result = run_mobile_scenario(
+        args.platform,
+        args.scenario,
+        scale=_scale_from(args),
+        num_participants=args.participants,
+    )
+    table = TextTable(["Device", "Median CPU %", "Rate (Mbps)", "mAh"])
+    for device, reading in result.readings.items():
+        table.add_row(
+            [device, f"{reading.median_cpu_pct:.0f}",
+             f"{reading.mean_rate_mbps:.2f}",
+             f"{reading.discharge_mah:.2f}"]
+        )
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Can You See Me Now?' (IMC 2021) scenarios.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    lag = subparsers.add_parser("lag", help="streaming-lag study (Figs. 4-11)")
+    _add_common(lag)
+    lag.add_argument("--host", default="US-East")
+    lag.add_argument("--group", choices=("US", "Europe"), default="US")
+    lag.set_defaults(func=cmd_lag)
+
+    endpoints = subparsers.add_parser(
+        "endpoints", help="endpoint architecture study (Fig. 3)"
+    )
+    _add_common(endpoints)
+    endpoints.set_defaults(func=cmd_endpoints)
+
+    qoe = subparsers.add_parser("qoe", help="video QoE cell (Figs. 12/16)")
+    _add_common(qoe)
+    qoe.add_argument("--motion", choices=("low", "high"), default="high")
+    qoe.add_argument("-n", "--participants", type=int, default=3)
+    qoe.add_argument("--region", choices=("US", "EU"), default="US")
+    qoe.add_argument("--no-vifp", action="store_true")
+    qoe.set_defaults(func=cmd_qoe)
+
+    mobile = subparsers.add_parser(
+        "mobile", help="Android resource scenario (Fig. 19)"
+    )
+    _add_common(mobile)
+    mobile.add_argument(
+        "--scenario", choices=MOBILE_SCENARIOS + ("HM-View",), default="LM"
+    )
+    mobile.add_argument("-n", "--participants", type=int, default=3)
+    mobile.set_defaults(func=cmd_mobile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

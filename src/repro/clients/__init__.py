@@ -1,0 +1,56 @@
+"""Emulated videoconferencing clients.
+
+The deployment targets of Section 3.2:
+
+* :class:`repro.clients.client.CloudVMClient` — the fully-emulated
+  cloud VM of Figure 1: loopback media devices, media feeder, client
+  controller (scripted UI workflow), client monitor (traffic capture +
+  active probing) and desktop recorder,
+* :class:`repro.clients.android.AndroidClient` — Samsung S10/J3 models
+  behind a Raspberry-Pi WiFi network, with CPU, data-rate and battery
+  instrumentation (Section 5),
+* :mod:`repro.clients.streamer` / :mod:`repro.clients.receiver` — the
+  media engines shared by both.
+"""
+
+from .android import (
+    ANDROID_DEVICES,
+    AndroidClient,
+    AndroidDeviceSpec,
+    GALAXY_J3,
+    GALAXY_S10,
+)
+from .client import BaseClient, CloudVMClient, MEDIA_PORT
+from .controller import ClientController, WorkflowStep, standard_workflow
+from .cpu import CpuModel, CpuSample
+from .power import BatteryModel, MonsoonMeter, PowerRailModel
+from .receiver import FlowStats, ReceiverEngine
+from .recorder import DesktopRecorder
+from .streamer import AudioStreamer, ModelVideoStreamer, VideoStreamer
+from .wifi import residential_wifi_link
+
+__all__ = [
+    "ANDROID_DEVICES",
+    "AndroidClient",
+    "AndroidDeviceSpec",
+    "AudioStreamer",
+    "BaseClient",
+    "BatteryModel",
+    "ClientController",
+    "CloudVMClient",
+    "CpuModel",
+    "CpuSample",
+    "DesktopRecorder",
+    "FlowStats",
+    "GALAXY_J3",
+    "GALAXY_S10",
+    "MEDIA_PORT",
+    "ModelVideoStreamer",
+    "MonsoonMeter",
+    "PowerRailModel",
+    "ReceiverEngine",
+    "VideoStreamer",
+    "WorkflowStep",
+    "residential_wifi_link",
+    "standard_workflow",
+]

@@ -1,0 +1,142 @@
+"""Desktop recorder: the platform-agnostic QoE recording of Section 3.1.
+
+"We run a videoconferencing client in full screen mode, and use
+simplescreenrecorder to record the desktop screen with audio, within a
+cloud VM itself."  The recorder samples the client's rendered output at
+its own frame clock, which is what makes the approach platform-agnostic
+-- and also what introduces the recording artefacts the paper's
+post-processing must undo (UI widgets over the padding, resampling,
+start-time offset).
+
+We model those artefacts explicitly:
+
+* at every recorder tick the most recently decoded frame is grabbed
+  (a frozen stream yields repeated frames, exactly as on screen),
+* client UI widgets are drawn into the padding margin,
+* the screen-scaling round trip (render at desktop resolution, record,
+  scale back) is applied as a down/up resample.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import SessionError
+from ..media.frames import FrameSpec
+from ..media.padding import pad_size, resize_frame
+from ..media.video_codec import VideoDecoder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .client import BaseClient
+
+#: Luma of UI widget rectangles drawn over the padding.
+WIDGET_VALUE = 52
+
+#: Default screen-scaling round-trip factor (desktop render + capture).
+DEFAULT_RESAMPLE = 0.85
+
+
+class DesktopRecorder:
+    """Samples a decoded video flow at a fixed recording frame rate.
+
+    Attributes:
+        frames: Recorded (uint8) frames, in tick order.
+        timestamps: Simulation times of each recorded frame.
+    """
+
+    def __init__(
+        self,
+        client: "BaseClient",
+        spec: FrameSpec,
+        pad_fraction: float,
+        record_fps: Optional[int] = None,
+        resample_factor: float = DEFAULT_RESAMPLE,
+        draw_widgets: bool = True,
+    ) -> None:
+        if not 0.0 < resample_factor <= 1.0:
+            raise SessionError("resample_factor must be in (0, 1]")
+        self._client = client
+        self.spec = spec
+        self.pad_fraction = pad_fraction
+        self.record_fps = record_fps if record_fps is not None else spec.fps
+        self.resample_factor = resample_factor
+        self.draw_widgets = draw_widgets
+        self.frames: List[np.ndarray] = []
+        self.timestamps: List[float] = []
+        self._decoder: Optional[VideoDecoder] = None
+        self._running = False
+        self._stop_at = 0.0
+
+    def start(
+        self, decoder: VideoDecoder, duration_s: float, start_delay_s: float = 0.0
+    ) -> None:
+        """Record the output of ``decoder`` for ``duration_s`` seconds."""
+        if duration_s <= 0:
+            raise SessionError("recording duration must be positive")
+        self._decoder = decoder
+        simulator = self._client.host.network.simulator
+        self._running = True
+        simulator.schedule(start_delay_s, self._begin, duration_s)
+
+    def _begin(self, duration_s: float) -> None:
+        simulator = self._client.host.network.simulator
+        self._stop_at = simulator.now + duration_s
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop recording at the next tick."""
+        self._running = False
+
+    def _tick(self) -> None:
+        simulator = self._client.host.network.simulator
+        if not self._running or simulator.now >= self._stop_at:
+            return
+        frame = self._decoder.last_frame if self._decoder is not None else None
+        if frame is None:
+            # Nothing rendered yet: the desktop shows the meeting UI on
+            # a dark background.
+            frame = np.zeros(self.spec.shape, dtype=np.uint8)
+        self.frames.append(self._screen_pipeline(frame))
+        self.timestamps.append(simulator.now)
+        simulator.schedule(1.0 / self.record_fps, self._tick)
+
+    # ----------------------------------------------------------------- #
+    # Screen rendering + capture model.
+    # ----------------------------------------------------------------- #
+
+    def _screen_pipeline(self, frame: np.ndarray) -> np.ndarray:
+        rendered = frame.copy()
+        if self.draw_widgets:
+            rendered = self._overlay_widgets(rendered)
+        if self.resample_factor < 1.0:
+            small_shape = (
+                max(16, int(self.spec.height * self.resample_factor)),
+                max(16, int(self.spec.width * self.resample_factor)),
+            )
+            rendered = resize_frame(
+                resize_frame(rendered, small_shape), self.spec.shape
+            )
+        return rendered
+
+    def _overlay_widgets(self, frame: np.ndarray) -> np.ndarray:
+        """Draw client UI chrome confined to the padding margin.
+
+        A control toolbar along the bottom padding and a self-view
+        thumbnail in the top-right padding corner -- the widgets that
+        "partially block" the screen in Section 4.3 and motivate the
+        padding workflow of Figure 13.
+        """
+        height, width = frame.shape
+        pad_h = pad_size(height, self.pad_fraction / (1 + 2 * self.pad_fraction))
+        pad_w = pad_size(width, self.pad_fraction / (1 + 2 * self.pad_fraction))
+        if pad_h >= 4:
+            toolbar_top = height - int(pad_h * 0.8)
+            toolbar_bottom = height - int(pad_h * 0.2)
+            frame[toolbar_top:toolbar_bottom, width // 4 : 3 * width // 4] = (
+                WIDGET_VALUE
+            )
+        if pad_h >= 4 and pad_w >= 4:
+            frame[: int(pad_h * 0.9), width - int(pad_w * 0.9) :] = WIDGET_VALUE
+        return frame

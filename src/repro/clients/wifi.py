@@ -1,0 +1,27 @@
+"""The mobile testbed's access network (Section 3.2).
+
+"The phones connect to the Internet over a fast WiFi -- with a
+symmetric upload and download bandwidth of 50 Mbps.  Each device
+connects to its own WiFi realized by the Raspberry Pi, so that traffic
+can be easily isolated and captured for each device."
+
+The Raspberry-Pi AP is modelled as the phone's access link: 50 Mbps
+symmetric, with a little extra queueing headroom compared to the cloud
+VMs' multi-Gbps attachments.
+"""
+
+from __future__ import annotations
+
+from ..net.link import AccessLink
+from ..units import mbps
+
+#: The testbed WiFi's symmetric bandwidth.
+RESIDENTIAL_WIFI_BPS = mbps(50)
+
+
+def residential_wifi_link() -> AccessLink:
+    """A fresh 50/50 Mbps access link for one phone."""
+    return AccessLink(
+        uplink_bps=RESIDENTIAL_WIFI_BPS,
+        downlink_bps=RESIDENTIAL_WIFI_BPS,
+    )

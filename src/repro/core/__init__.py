@@ -1,0 +1,42 @@
+"""Harness core: the paper's benchmarking methodology as a library.
+
+* :mod:`repro.core.lag` — streaming-lag extraction from packet traces
+  (the Figure 2 detector),
+* :mod:`repro.core.probing` — active RTT probing of discovered service
+  endpoints (the tcpping pipeline),
+* :mod:`repro.core.session` — orchestration of one meeting session
+  across emulated clients,
+* :mod:`repro.core.testbed` — builds the full deployment (network,
+  regions, VMs, platforms) and runs sessions,
+* :mod:`repro.core.postprocess` — recording-to-QoE pipeline (crop,
+  resize, align, score),
+* :mod:`repro.core.results` — result containers and aggregation,
+* :mod:`repro.core.experiment` — seeded, repeated experiment running.
+"""
+
+from .lag import LagDetector, LagMeasurement, measure_streaming_lag
+from .probing import ProbeResult, Prober
+from .results import (
+    LagSessionResult,
+    QoeSessionResult,
+    RateSummary,
+    SummaryStats,
+)
+from .session import MeetingSession, SessionConfig
+from .testbed import Testbed, TestbedConfig
+
+__all__ = [
+    "LagDetector",
+    "LagMeasurement",
+    "LagSessionResult",
+    "MeetingSession",
+    "ProbeResult",
+    "Prober",
+    "QoeSessionResult",
+    "RateSummary",
+    "SessionConfig",
+    "SummaryStats",
+    "Testbed",
+    "TestbedConfig",
+    "measure_streaming_lag",
+]

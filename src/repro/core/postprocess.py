@@ -1,0 +1,109 @@
+"""Recording post-processing: from desktop capture to QoE scores.
+
+Implements the Section 4.3/4.4 pipeline:
+
+video -- "We first crop out the surrounding padding and resize video
+frames to match the content layout and resolution of the injected
+videos.  On top of that, we synchronize the start/end time of
+original/recorded videos ... by trimming them in a way that per-frame
+SSIM similarity is maximized."
+
+audio -- "we normalize audio volume in the recorded audio (with EBU
+R128 loudness normalization), and then synchronize the
+beginning/ending of the audio in reference to the originally injected
+audio ... Finally, we use the ViSQOL tool ... to compute the MOS-LQO
+score."
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..media.frames import FrameSource
+from ..media.padding import PaddedSource, resize_frame
+from ..media.sync import (
+    align_recordings,
+    find_audio_offset,
+    normalize_loudness,
+    trim_to_offset,
+)
+from ..qoe.visqol import mos_lqo
+from ..qoe.vqmt import VideoQualityReport, score_video
+
+
+def prepare_recorded_frames(
+    padded_feed: PaddedSource, recorded: Sequence[np.ndarray]
+) -> List[np.ndarray]:
+    """Crop the padding and restore the content resolution."""
+    if not recorded:
+        raise AnalysisError("no recorded frames to prepare")
+    content_shape = padded_feed.content.spec.shape
+    prepared = []
+    for frame in recorded:
+        cropped = padded_feed.crop(frame)
+        prepared.append(resize_frame(cropped, content_shape))
+    return prepared
+
+
+def score_recorded_video(
+    padded_feed: PaddedSource,
+    recorded: Sequence[np.ndarray],
+    skip_leading: int = 2,
+    max_shift: int = 30,
+    compute_vifp: bool = True,
+    max_frames: int | None = None,
+) -> VideoQualityReport:
+    """Full video pipeline: crop -> resize -> align -> VQMT scoring.
+
+    Args:
+        padded_feed: The injected (padded) feed; its content feed is
+            the scoring reference.
+        recorded: Desktop-recorder frames from a receiving client.
+        skip_leading: Recorder frames to drop from the front (black
+            frames before the first decode).
+        max_shift: Alignment search range in frames.
+        compute_vifp: Disable to skip the expensive VIFp series.
+        max_frames: Cap on scored frames (None scores everything).
+    """
+    usable = list(recorded[skip_leading:])
+    if not usable:
+        raise AnalysisError("recording too short after skip_leading")
+    prepared = prepare_recorded_frames(padded_feed, usable)
+    # The recording's k-th kept frame shows feed content from roughly
+    # frame ``skip_leading + k`` (recorder and feed tick at the same
+    # fps); generate the reference window around that point so the
+    # alignment search starts near the truth.
+    ref_start = max(0, skip_leading - max_shift)
+    reference = padded_feed.content.frames(
+        len(prepared) + 2 * max_shift, start=ref_start
+    )
+    _shift, ref_aligned, rec_aligned = align_recordings(
+        reference, prepared, max_shift=max_shift
+    )
+    if max_frames is not None:
+        ref_aligned = ref_aligned[:max_frames]
+        rec_aligned = rec_aligned[:max_frames]
+    return score_video(ref_aligned, rec_aligned, compute_vifp=compute_vifp)
+
+
+def score_recorded_audio(
+    reference: np.ndarray,
+    recorded: np.ndarray,
+    sample_rate: int = 16_000,
+    max_offset_s: float = 2.0,
+) -> float:
+    """Full audio pipeline: normalise -> offset-align -> MOS-LQO."""
+    if len(reference) == 0 or len(recorded) == 0:
+        raise AnalysisError("cannot score empty audio")
+    recorded_norm = normalize_loudness(recorded, sample_rate=sample_rate)
+    reference_norm = normalize_loudness(reference, sample_rate=sample_rate)
+    offset = find_audio_offset(
+        reference_norm,
+        recorded_norm,
+        max_offset=int(max_offset_s * sample_rate),
+    )
+    ref_aligned, rec_aligned = trim_to_offset(reference_norm, recorded_norm, offset)
+    return mos_lqo(ref_aligned, rec_aligned, sample_rate=sample_rate)

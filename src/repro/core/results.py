@@ -1,0 +1,107 @@
+"""Result containers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..net.address import EndpointKey
+
+
+@dataclass
+class SummaryStats:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    median: float
+    p10: float
+    p90: float
+
+    @classmethod
+    def from_values(cls, values) -> "SummaryStats":
+        """Build a summary; raises on empty input."""
+        array = np.asarray(list(values), dtype=np.float64)
+        if array.size == 0:
+            raise AnalysisError("cannot summarise an empty sample")
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            std=float(array.std()),
+            median=float(np.median(array)),
+            p10=float(np.percentile(array, 10)),
+            p90=float(np.percentile(array, 90)),
+        )
+
+
+@dataclass
+class LagSessionResult:
+    """Per-session lag study output.
+
+    Attributes:
+        platform: Platform name.
+        host: Meeting-host client name.
+        lags_ms: Per-receiver lists of matched lag measurements (ms).
+        rtts_ms: Per-receiver mean RTT to its probed endpoint (ms).
+        endpoints: Per-receiver endpoint the client discovered.
+    """
+
+    platform: str
+    host: str
+    session_index: int
+    lags_ms: Dict[str, List[float]] = field(default_factory=dict)
+    rtts_ms: Dict[str, float] = field(default_factory=dict)
+    endpoints: Dict[str, EndpointKey] = field(default_factory=dict)
+
+
+@dataclass
+class RateSummary:
+    """Upload/download L7 data rates of one session (Fig. 15 metric)."""
+
+    upload_bps: float
+    download_bps_by_client: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_download_bps(self) -> float:
+        """Average download rate across receiving clients."""
+        rates = list(self.download_bps_by_client.values())
+        if not rates:
+            raise AnalysisError("no download rates recorded")
+        return float(np.mean(rates))
+
+
+@dataclass
+class QoeSessionResult:
+    """Per-session QoE study output.
+
+    Attributes:
+        platform: Platform name.
+        num_participants: The paper's N.
+        motion: ``"low"`` or ``"high"``.
+        psnr / ssim / vifp: Mean metric per receiving client.
+        rates: Session traffic summary.
+        mos_lqo: Audio score per receiving client (when audio scored).
+        frames_frozen: Receiver-side freeze counts (stall indicator).
+    """
+
+    platform: str
+    num_participants: int
+    motion: str
+    session_index: int
+    psnr: Dict[str, float] = field(default_factory=dict)
+    ssim: Dict[str, float] = field(default_factory=dict)
+    vifp: Dict[str, float] = field(default_factory=dict)
+    rates: Optional[RateSummary] = None
+    mos_lqo: Dict[str, float] = field(default_factory=dict)
+    frames_frozen: Dict[str, int] = field(default_factory=dict)
+
+    def mean_metric(self, metric: str) -> float:
+        """Average a metric over receiving clients."""
+        values = getattr(self, metric)
+        if not values:
+            raise AnalysisError(f"no {metric} values in result")
+        return float(np.mean(list(values.values())))

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch everything from this package with a single handler while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class RoutingError(SimulationError):
+    """A packet could not be delivered because no route exists."""
+
+
+class CaptureError(ReproError):
+    """A traffic capture was used incorrectly (e.g. read before stop)."""
+
+
+class MediaError(ReproError):
+    """A media feed, codec or loopback device failed."""
+
+
+class CodecError(MediaError):
+    """Encoding or decoding failed (bad bitstream, wrong dimensions...)."""
+
+
+class PlatformError(ReproError):
+    """A videoconferencing platform model rejected an operation."""
+
+
+class SessionError(PlatformError):
+    """A meeting session operation was invalid (join twice, empty...)."""
+
+
+class MeasurementError(ReproError):
+    """A measurement could not be derived from collected data."""
+
+
+class AnalysisError(ReproError):
+    """Post-processing/analysis of results failed."""

@@ -1,0 +1,25 @@
+"""Experiment drivers: one module per study in the paper.
+
+Each driver reproduces the methodology of one evaluation section and
+returns structured results that benchmarks render as the corresponding
+tables/figures:
+
+* :mod:`repro.experiments.lag_study` — streaming lag + endpoint RTTs
+  (Figs. 2, 4-11),
+* :mod:`repro.experiments.endpoint_study` — endpoint architecture and
+  churn (Fig. 3, the 20/19.5/1.8 finding),
+* :mod:`repro.experiments.qoe_study` — video QoE vs session size and
+  motion (Figs. 12, 14, 15, 16),
+* :mod:`repro.experiments.bandwidth_study` — QoE under ingress caps
+  (Figs. 17, 18),
+* :mod:`repro.experiments.mobile_study` — Android resource use
+  (Fig. 19, Table 4).
+
+Every driver accepts an :class:`ExperimentScale`; ``QUICK_SCALE`` keeps
+benchmark runtimes in seconds, ``PAPER_SCALE`` approaches the paper's
+session counts and durations.
+"""
+
+from .scale import ExperimentScale, PAPER_SCALE, QUICK_SCALE
+
+__all__ = ["ExperimentScale", "PAPER_SCALE", "QUICK_SCALE"]

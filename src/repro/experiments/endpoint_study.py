@@ -1,0 +1,116 @@
+"""Endpoint architecture study: Figure 3 and the churn statistics.
+
+Section 4.2: "out of 20 videoconferencing sessions, a client on Zoom,
+Webex and Meet encounters, on average, 20, 19.5 and 1.8 endpoints" --
+and the architectural difference of Fig. 3: one shared endpoint per
+session on Zoom/Webex versus per-client endpoints on Meet, plus Zoom's
+peer-to-peer mode at N=2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..core.session import SessionConfig
+from ..core.testbed import Testbed, TestbedConfig
+from ..net.address import EndpointKey
+from .scale import ExperimentScale, QUICK_SCALE
+
+
+@dataclass
+class EndpointStudyResult:
+    """Endpoint observations for one platform over many sessions.
+
+    Attributes:
+        platform: Platform name.
+        per_client_endpoints: Client -> set of endpoints seen across
+            all sessions.
+        per_session_endpoint_sets: For each session, the set of
+            endpoints used by all clients together.
+        ports: All remote ports observed (should be the platform's
+            designated port for relayed sessions).
+    """
+
+    platform: str
+    sessions: int = 0
+    per_client_endpoints: Dict[str, Set[EndpointKey]] = field(default_factory=dict)
+    per_session_endpoint_sets: List[Set[EndpointKey]] = field(default_factory=list)
+    ports: Set[int] = field(default_factory=set)
+
+    def mean_endpoints_per_client(self) -> float:
+        """Average distinct endpoints per client (the 20/19.5/1.8)."""
+        counts = [len(s) for s in self.per_client_endpoints.values()]
+        return float(np.mean(counts)) if counts else 0.0
+
+    def endpoints_per_session(self) -> List[int]:
+        """Distinct endpoints serving each session (1 vs N of Fig. 3)."""
+        return [len(s) for s in self.per_session_endpoint_sets]
+
+
+def run_endpoint_study(
+    platform_name: str,
+    client_names: Optional[List[str]] = None,
+    host: str = "US-East",
+    scale: ExperimentScale = QUICK_SCALE,
+    sessions: Optional[int] = None,
+) -> EndpointStudyResult:
+    """Observe endpoint identity across repeated sessions.
+
+    Uses short flash sessions (media must flow for the monitor to see
+    streaming endpoints) and collects each client's discovered
+    endpoints from its capture, exactly like the paper's monitor.
+    """
+    testbed = Testbed(TestbedConfig(seed=scale.seed))
+    testbed.deploy_group("US")
+    names = client_names or ["US-East", "US-East2", "US-Central", "US-West"]
+    session_count = sessions if sessions is not None else scale.sessions
+
+    result = EndpointStudyResult(platform=platform_name, sessions=session_count)
+    for session_index in range(session_count):
+        config = SessionConfig(
+            duration_s=5.0,
+            feed="flash",
+            pad_fraction=0.0,
+            content_spec=scale.content_spec,
+            probes=False,
+            gop_size=600,
+            session_index=session_index,
+            feed_seed=scale.seed + session_index,
+        )
+        artifacts = testbed.run_session(platform_name, names, host, config)
+        session_endpoints: Set[EndpointKey] = set()
+        for name in names:
+            endpoints = artifacts.discovered_endpoints(name)
+            result.per_client_endpoints.setdefault(name, set()).update(endpoints)
+            session_endpoints.update(endpoints)
+            result.ports.update(e.port for e in endpoints)
+        result.per_session_endpoint_sets.append(session_endpoints)
+    return result
+
+
+def p2p_check(scale: ExperimentScale = QUICK_SCALE) -> bool:
+    """Verify Zoom's two-party peer-to-peer mode (Fig. 3 footnote).
+
+    Returns True when a two-client Zoom session streams directly
+    between the participants with no platform relay in the path.
+    """
+    testbed = Testbed(TestbedConfig(seed=scale.seed))
+    testbed.add_vm("US-East")
+    testbed.add_vm("US-West")
+    config = SessionConfig(
+        duration_s=5.0,
+        feed="flash",
+        pad_fraction=0.0,
+        content_spec=scale.content_spec,
+        probes=False,
+        gop_size=600,
+    )
+    artifacts = testbed.run_session(
+        "zoom", ["US-East", "US-West"], "US-East", config
+    )
+    peer_ip = testbed.clients["US-West"].host.ip
+    endpoints = artifacts.discovered_endpoints("US-East")
+    return artifacts.wiring.p2p and all(e.ip == peer_ip for e in endpoints)

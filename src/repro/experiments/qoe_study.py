@@ -1,0 +1,205 @@
+"""Video QoE study: the protocol behind Figures 12 and 14-16.
+
+Section 4.3: a designated meeting host broadcasts a low- or high-motion
+feed (padded per Fig. 13) to N-1 passive receivers who render it full
+screen and desktop-record it; recordings are cropped, resized, aligned
+and scored with PSNR/SSIM/VIFp, and Layer-7 data rates are read from
+the traces.  The protocol repeats for N in 2..6 and both motion
+classes, in the US (host US-east) and in Europe (host CH).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.postprocess import score_recorded_video
+from ..core.results import QoeSessionResult, RateSummary
+from ..core.session import SessionConfig
+from ..core.testbed import Testbed, TestbedConfig
+from ..errors import MeasurementError
+from .scale import ExperimentScale, QUICK_SCALE
+
+#: Participant rosters: host first, then joiners in order (Section
+#: 4.3.1 mixes US-east and US-west receivers).
+US_ROSTER = (
+    "US-East",
+    "US-West",
+    "US-East2",
+    "US-West2",
+    "US-Central",
+    "US-SCentral",
+)
+EU_ROSTER = ("CH", "FR", "DE", "IE", "UK-South", "NL")
+
+
+@dataclass
+class QoeCell:
+    """One (platform, motion, N) cell of Figure 12/16.
+
+    Values are averaged across sessions and receiving clients, with
+    standard deviations across sessions (the paper's error bars).
+    """
+
+    platform: str
+    motion: str
+    num_participants: int
+    psnr_mean: float
+    psnr_std: float
+    ssim_mean: float
+    ssim_std: float
+    vifp_mean: float
+    vifp_std: float
+    upload_mbps: float
+    download_mbps: float
+    sessions: List[QoeSessionResult] = field(default_factory=list)
+
+
+def run_qoe_cell(
+    platform_name: str,
+    motion: str,
+    num_participants: int,
+    roster: Sequence[str] = US_ROSTER,
+    scale: ExperimentScale = QUICK_SCALE,
+    testbed: Optional[Testbed] = None,
+    compute_vifp: bool = True,
+) -> QoeCell:
+    """Run the sessions of one figure cell and aggregate.
+
+    Args:
+        platform_name: ``zoom``/``webex``/``meet``.
+        motion: ``"low"`` or ``"high"``.
+        num_participants: The paper's N (2..6 with the default roster).
+        roster: Host-first participant list to draw N clients from.
+        scale: Sessions/durations profile.
+        testbed: Optional shared deployment.
+        compute_vifp: Disable to skip the most expensive metric.
+    """
+    if num_participants < 2 or num_participants > len(roster):
+        raise MeasurementError(
+            f"N={num_participants} needs a roster of at least that size"
+        )
+    if testbed is None:
+        testbed = Testbed(TestbedConfig(seed=scale.seed))
+        group = "US" if roster[0].startswith("US") else "Europe"
+        testbed.deploy_group(group)
+    names = list(roster[:num_participants])
+    host = names[0]
+
+    session_results: List[QoeSessionResult] = []
+    for session_index in range(scale.sessions):
+        config = SessionConfig(
+            duration_s=scale.qoe_session_duration_s,
+            feed=motion,
+            pad_fraction=0.15,
+            audio=False,
+            content_spec=scale.content_spec,
+            probes=False,
+            record_video=True,
+            gop_size=30,
+            session_index=session_index,
+            feed_seed=scale.seed + session_index,
+        )
+        artifacts = testbed.run_session(platform_name, names, host, config)
+        session = QoeSessionResult(
+            platform=platform_name,
+            num_participants=num_participants,
+            motion=motion,
+            session_index=session_index,
+        )
+        for receiver, recorder in artifacts.recorders.items():
+            report = score_recorded_video(
+                artifacts.padded_feed,
+                recorder.frames,
+                compute_vifp=compute_vifp,
+                max_frames=scale.score_frames,
+            )
+            session.psnr[receiver] = report.mean_psnr
+            session.ssim[receiver] = report.mean_ssim
+            if compute_vifp:
+                session.vifp[receiver] = report.mean_vifp
+        session.rates = artifacts.rate_summary()
+        session_results.append(session)
+
+    def stats(metric: str) -> tuple[float, float]:
+        per_session = [s.mean_metric(metric) for s in session_results]
+        return float(np.mean(per_session)), float(np.std(per_session))
+
+    psnr_mean, psnr_std = stats("psnr")
+    ssim_mean, ssim_std = stats("ssim")
+    if compute_vifp:
+        vifp_mean, vifp_std = stats("vifp")
+    else:
+        vifp_mean, vifp_std = float("nan"), float("nan")
+    uploads = [s.rates.upload_bps for s in session_results]
+    downloads = [s.rates.mean_download_bps for s in session_results]
+
+    return QoeCell(
+        platform=platform_name,
+        motion=motion,
+        num_participants=num_participants,
+        psnr_mean=psnr_mean,
+        psnr_std=psnr_std,
+        ssim_mean=ssim_mean,
+        ssim_std=ssim_std,
+        vifp_mean=vifp_mean,
+        vifp_std=vifp_std,
+        upload_mbps=float(np.mean(uploads)) / 1e6,
+        download_mbps=float(np.mean(downloads)) / 1e6,
+        sessions=session_results,
+    )
+
+
+def run_qoe_grid(
+    platforms: Sequence[str] = ("zoom", "webex", "meet"),
+    motions: Sequence[str] = ("low", "high"),
+    participant_counts: Sequence[int] = (2, 3, 4),
+    roster: Sequence[str] = US_ROSTER,
+    scale: ExperimentScale = QUICK_SCALE,
+    compute_vifp: bool = True,
+) -> List[QoeCell]:
+    """The full Figure 12/15 grid (or Fig. 16 with the EU roster)."""
+    cells = []
+    for platform_name in platforms:
+        testbed = Testbed(TestbedConfig(seed=scale.seed))
+        group = "US" if roster[0].startswith("US") else "Europe"
+        testbed.deploy_group(group)
+        for motion in motions:
+            for n in participant_counts:
+                cells.append(
+                    run_qoe_cell(
+                        platform_name,
+                        motion,
+                        n,
+                        roster=roster,
+                        scale=scale,
+                        testbed=testbed,
+                        compute_vifp=compute_vifp,
+                    )
+                )
+    return cells
+
+
+def degradation_table(cells: List[QoeCell]) -> Dict[tuple, Dict[str, float]]:
+    """Figure 14: QoE reduction from low- to high-motion feeds.
+
+    Returns (platform, N) -> {psnr/ssim/vifp degradation}.
+    """
+    by_key: Dict[tuple, Dict[str, QoeCell]] = {}
+    for cell in cells:
+        by_key.setdefault((cell.platform, cell.num_participants), {})[
+            cell.motion
+        ] = cell
+    table = {}
+    for key, motions in by_key.items():
+        if "low" not in motions or "high" not in motions:
+            continue
+        low, high = motions["low"], motions["high"]
+        table[key] = {
+            "psnr": low.psnr_mean - high.psnr_mean,
+            "ssim": low.ssim_mean - high.ssim_mean,
+            "vifp": low.vifp_mean - high.vifp_mean,
+        }
+    return table

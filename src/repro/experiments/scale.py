@@ -1,0 +1,66 @@
+"""Experiment scaling profiles.
+
+The paper runs 700+ sessions over 48 hours; a reproduction must be able
+to run the same *protocol* at reduced scale for CI and at near-paper
+scale for full validation.  :class:`ExperimentScale` captures the knobs
+that trade fidelity for runtime without changing any mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..media.frames import FrameSpec
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Session counts, durations and media geometry for one run.
+
+    Attributes:
+        sessions: Sessions per scenario (the paper uses 20 for lag,
+            5 per condition for QoE).
+        lag_session_duration_s: Streaming time of each lag session
+            (paper: 120 s -> 35-40 lag samples per session).
+        qoe_session_duration_s: Streaming time of each QoE session
+            (paper: 300 s).
+        content_spec: Geometry of the synthetic feeds.  QoE numbers are
+            computed at this resolution; rates on the wire are
+            normalised to the paper's 640x480@30 pixel rate either way.
+        probe_count: RTT probes per session (paper: 100).
+        score_frames: Frames scored per recording.
+        seed: Master seed for the testbed.
+    """
+
+    sessions: int = 3
+    lag_session_duration_s: float = 14.0
+    qoe_session_duration_s: float = 10.0
+    content_spec: FrameSpec = field(default_factory=lambda: FrameSpec(160, 120, 15))
+    probe_count: int = 20
+    score_frames: int = 40
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ConfigurationError("sessions must be >= 1")
+        if self.lag_session_duration_s < 4.0:
+            raise ConfigurationError(
+                "lag sessions need at least two flash periods"
+            )
+        if self.probe_count < 1:
+            raise ConfigurationError("probe_count must be >= 1")
+
+
+#: Fast profile used by the benchmark suite (seconds per scenario).
+QUICK_SCALE = ExperimentScale()
+
+#: Near-paper profile: 20 sessions, 2-minute lag runs, 100 probes.
+PAPER_SCALE = ExperimentScale(
+    sessions=20,
+    lag_session_duration_s=120.0,
+    qoe_session_duration_s=300.0,
+    content_spec=FrameSpec(320, 240, 15),
+    probe_count=100,
+    score_frames=200,
+)

@@ -1,0 +1,211 @@
+"""A subband audio codec with loss concealment.
+
+Models the platforms' audio paths (Opus-like) at the level the paper
+observes: a constant configured bitrate (Zoom ~90 Kbps, Webex ~45,
+Meet ~40 -- Section 4.4), quantisation noise that shrinks with bitrate,
+and per-frame transport so shaper drops translate into concealment
+artefacts.  Concealment strategy is configurable because the paper
+finds Zoom/Meet audio robust under caps while Webex audio degrades
+audibly: platforms that conceal by waveform repetition keep MOS high
+under moderate loss, zero-fill concealment does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import fft as sp_fft
+
+from ..errors import CodecError, ConfigurationError
+
+#: Audio frame duration used by the codec (Opus default frame).
+FRAME_DURATION_S = 0.02
+
+
+@dataclass(frozen=True)
+class AudioCodecConfig:
+    """Audio codec parameters.
+
+    Attributes:
+        bitrate_bps: Target (and effectively constant) bitrate.
+        sample_rate: Input sample rate.
+        concealment: ``"repeat"`` (decaying repetition of the last good
+            frame, Zoom/Meet-style) or ``"silence"`` (zero fill,
+            Webex-style).
+    """
+
+    bitrate_bps: float = 40_000.0
+    sample_rate: int = 16_000
+    concealment: str = "repeat"
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bps <= 0:
+            raise ConfigurationError("bitrate must be positive")
+        if self.concealment not in ("repeat", "silence"):
+            raise ConfigurationError(
+                f"unknown concealment mode: {self.concealment!r}"
+            )
+
+    @property
+    def frame_samples(self) -> int:
+        """Samples per codec frame."""
+        return int(round(self.sample_rate * FRAME_DURATION_S))
+
+    @property
+    def frame_budget_bits(self) -> float:
+        """Bit budget per codec frame."""
+        return self.bitrate_bps * FRAME_DURATION_S
+
+
+@dataclass
+class EncodedAudioFrame:
+    """One compressed audio frame (sparse DCT levels)."""
+
+    index: int
+    q_step: float
+    indices: np.ndarray
+    values: np.ndarray
+    frame_samples: int
+    size_bytes: int
+
+
+class AudioCodec:
+    """Encoder/decoder pair for 20 ms audio frames.
+
+    The encoder DCT-transforms each frame, quantises with a step chosen
+    per frame (binary search) to meet the bit budget, and reports the
+    realised size.  The decoder inverts, and conceals missing frames
+    according to the configured strategy.
+    """
+
+    def __init__(self, config: Optional[AudioCodecConfig] = None) -> None:
+        self.config = config if config is not None else AudioCodecConfig()
+        self._next_index = 0
+
+    # ----------------------------------------------------------------- #
+    # Encoding.
+    # ----------------------------------------------------------------- #
+
+    def encode_frame(self, samples: np.ndarray) -> EncodedAudioFrame:
+        """Encode one frame of exactly ``config.frame_samples`` samples."""
+        expected = self.config.frame_samples
+        if samples.shape != (expected,):
+            raise CodecError(
+                f"audio frame must have shape ({expected},), got {samples.shape}"
+            )
+        coeffs = sp_fft.dct(samples.astype(np.float64), norm="ortho")
+        budget = self.config.frame_budget_bits
+
+        q_step = self._fit_quantiser(coeffs, budget)
+        levels = np.round(coeffs / q_step).astype(np.int32)
+        nonzero = np.nonzero(levels)[0]
+        values = levels[nonzero].astype(np.int16)
+        size_bytes = int(np.ceil(self._bits_for(values) / 8.0))
+
+        frame = EncodedAudioFrame(
+            index=self._next_index,
+            q_step=q_step,
+            indices=nonzero.astype(np.int32),
+            values=values,
+            frame_samples=expected,
+            size_bytes=size_bytes,
+        )
+        self._next_index += 1
+        return frame
+
+    def encode(self, samples: np.ndarray) -> list[EncodedAudioFrame]:
+        """Encode a multiple-of-frame-size buffer into frames."""
+        frame_samples = self.config.frame_samples
+        if len(samples) % frame_samples != 0:
+            raise CodecError(
+                f"buffer length {len(samples)} is not a multiple of "
+                f"the frame size {frame_samples}"
+            )
+        return [
+            self.encode_frame(samples[i : i + frame_samples])
+            for i in range(0, len(samples), frame_samples)
+        ]
+
+    @staticmethod
+    def _bits_for(values: np.ndarray) -> float:
+        if values.size == 0:
+            return 64.0
+        magnitudes = np.abs(values.astype(np.float64))
+        return float(np.sum(2.5 + 1.7 * np.log2(1.0 + magnitudes))) + 64.0
+
+    def _fit_quantiser(self, coeffs: np.ndarray, budget_bits: float) -> float:
+        """Smallest power-ladder step whose levels fit the budget."""
+        lo, hi = 1e-4, 10.0
+        for _ in range(24):
+            mid = (lo * hi) ** 0.5
+            levels = np.round(coeffs / mid)
+            bits = self._bits_for(levels[levels != 0])
+            if bits > budget_bits:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    # ----------------------------------------------------------------- #
+    # Decoding.
+    # ----------------------------------------------------------------- #
+
+    def decode_frame(self, frame: EncodedAudioFrame) -> np.ndarray:
+        """Inverse-transform one encoded frame."""
+        coeffs = np.zeros(frame.frame_samples, dtype=np.float64)
+        coeffs[frame.indices] = frame.values.astype(np.float64) * frame.q_step
+        return sp_fft.idct(coeffs, norm="ortho")
+
+
+class AudioDecoder:
+    """Stateful frame-sequence decoder with loss concealment.
+
+    Feed frames with :meth:`push`; missing indices are concealed.  The
+    final waveform is assembled with :meth:`waveform`.
+    """
+
+    def __init__(self, codec: AudioCodec) -> None:
+        self._codec = codec
+        self._frames: dict[int, np.ndarray] = {}
+        self._max_index = -1
+        self.frames_received = 0
+        self.frames_concealed = 0
+
+    def push(self, frame: EncodedAudioFrame) -> None:
+        """Accept one encoded frame (in any order)."""
+        self._frames[frame.index] = self._codec.decode_frame(frame)
+        self._max_index = max(self._max_index, frame.index)
+        self.frames_received += 1
+
+    def waveform(self, total_frames: Optional[int] = None) -> np.ndarray:
+        """Assemble the decoded signal, concealing missing frames.
+
+        Args:
+            total_frames: Length of the stream in frames; defaults to
+                the highest index received + 1.
+        """
+        frame_samples = self._codec.config.frame_samples
+        if total_frames is None:
+            total_frames = self._max_index + 1
+        if total_frames <= 0:
+            return np.zeros(0, dtype=np.float64)
+        out = np.zeros(total_frames * frame_samples, dtype=np.float64)
+        last_good: Optional[np.ndarray] = None
+        decay = 1.0
+        mode = self._codec.config.concealment
+        for index in range(total_frames):
+            chunk = self._frames.get(index)
+            if chunk is not None:
+                last_good = chunk
+                decay = 1.0
+            else:
+                self.frames_concealed += 1
+                if mode == "repeat" and last_good is not None:
+                    decay *= 0.5
+                    chunk = last_good * decay
+                else:
+                    chunk = np.zeros(frame_samples, dtype=np.float64)
+            out[index * frame_samples : (index + 1) * frame_samples] = chunk
+        return out

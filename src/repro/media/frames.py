@@ -1,0 +1,133 @@
+"""Frame sources: deterministic generators of video frames.
+
+Frames are single-channel (luma) ``uint8`` arrays of shape
+``(height, width)``.  The QoE metrics in :mod:`repro.qoe` operate on
+luma, which is also what PSNR/SSIM/VIFp are conventionally reported on.
+
+A :class:`FrameSource` maps a frame index to a frame, deterministically
+for a given seed, so the "injected video" of an experiment can be
+regenerated bit-for-bit for full-reference comparison against the
+recording -- the property the paper obtains by replaying the same video
+file into the loopback device in every run.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from ..errors import ConfigurationError, MediaError
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """Geometry and timing of a video feed.
+
+    Attributes:
+        width: Frame width in pixels.
+        height: Frame height in pixels.
+        fps: Frames per second.
+    """
+
+    width: int = 640
+    height: int = 480
+    fps: int = 30
+
+    def __post_init__(self) -> None:
+        if self.width < 16 or self.height < 16:
+            raise ConfigurationError("frames must be at least 16x16")
+        if self.fps < 1:
+            raise ConfigurationError(f"fps must be >= 1, got {self.fps}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Numpy shape of one frame: (height, width)."""
+        return (self.height, self.width)
+
+    @property
+    def pixels(self) -> int:
+        """Pixels per frame."""
+        return self.width * self.height
+
+    def frame_duration(self) -> float:
+        """Seconds per frame."""
+        return 1.0 / self.fps
+
+    def scaled(self, factor: float) -> "FrameSpec":
+        """A spec scaled in both dimensions (for fast test runs)."""
+        return FrameSpec(
+            width=max(16, int(self.width * factor)),
+            height=max(16, int(self.height * factor)),
+            fps=self.fps,
+        )
+
+
+class FrameSource(abc.ABC):
+    """Deterministic frame-index -> frame generator."""
+
+    def __init__(self, spec: FrameSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+
+    @abc.abstractmethod
+    def frame(self, index: int) -> np.ndarray:
+        """Return frame ``index`` as a ``uint8`` (height, width) array."""
+
+    def frames(self, count: int, start: int = 0) -> list[np.ndarray]:
+        """Materialise ``count`` consecutive frames."""
+        if count < 0:
+            raise MediaError(f"frame count must be >= 0, got {count}")
+        return [self.frame(start + i) for i in range(count)]
+
+    def motion_energy(self, index: int) -> float:
+        """Mean absolute luma difference between consecutive frames.
+
+        This is the quantity the codecs respond to; exposed for tests
+        and for calibrating feed "motion levels".
+        """
+        if index <= 0:
+            return 0.0
+        current = self.frame(index).astype(np.float64)
+        previous = self.frame(index - 1).astype(np.float64)
+        return float(np.mean(np.abs(current - previous)))
+
+    def mean_motion_energy(self, count: int = 30, start: int = 1) -> float:
+        """Average motion energy over a window of frames."""
+        if count < 1:
+            raise MediaError("count must be >= 1")
+        return float(
+            np.mean([self.motion_energy(start + i) for i in range(count)])
+        )
+
+    def _rng_for(self, key: int) -> np.random.Generator:
+        """A generator deterministic in (source seed, key)."""
+        return np.random.default_rng((self.seed << 20) ^ key)
+
+
+def smooth_noise_texture(
+    rng: np.random.Generator,
+    shape: tuple[int, int],
+    smoothness: float = 6.0,
+    low: float = 40.0,
+    high: float = 210.0,
+) -> np.ndarray:
+    """A smooth random texture in float64, values in [low, high].
+
+    Gaussian-filtered white noise, renormalised; used as backgrounds
+    and scene content by the synthetic feeds.
+    """
+    noise = rng.standard_normal(shape)
+    smooth = ndimage.gaussian_filter(noise, sigma=smoothness)
+    lo, hi = float(smooth.min()), float(smooth.max())
+    if hi - lo < 1e-12:
+        return np.full(shape, (low + high) / 2.0)
+    normal = (smooth - lo) / (hi - lo)
+    return low + normal * (high - low)
+
+
+def to_uint8(frame: np.ndarray) -> np.ndarray:
+    """Clip and convert a float frame to uint8."""
+    return np.clip(frame, 0, 255).astype(np.uint8)

@@ -1,0 +1,70 @@
+"""Loopback pseudo devices: the simulator's v4l2loopback / snd-aloop.
+
+The paper's clients read from in-kernel virtual devices fed by a media
+feeder replaying files (Figure 1).  These classes reproduce the device
+boundary: a :class:`VirtualCamera` serves frames by wall-clock time and
+a :class:`VirtualMicrophone` serves samples by wall-clock time, both
+backed by deterministic sources.  Keeping this indirection (instead of
+letting clients touch feeds directly) preserves the architecture that
+makes the harness client-agnostic: a client only ever sees a "device".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MediaError
+from .audio import AudioSource
+from .frames import FrameSource
+
+
+class VirtualCamera:
+    """A v4l2loopback-style video device backed by a frame source."""
+
+    def __init__(self, feed: FrameSource) -> None:
+        self._feed = feed
+        self.frames_served = 0
+
+    @property
+    def spec(self):
+        """Geometry/timing of the device output."""
+        return self._feed.spec
+
+    def frame_index_at(self, time_s: float) -> int:
+        """Frame index visible on the device at a given time."""
+        if time_s < 0:
+            raise MediaError(f"time must be >= 0, got {time_s}")
+        return int(time_s * self._feed.spec.fps)
+
+    def read_frame_at(self, time_s: float) -> np.ndarray:
+        """Capture the frame visible at ``time_s``."""
+        self.frames_served += 1
+        return self._feed.frame(self.frame_index_at(time_s))
+
+    def read_frame(self, index: int) -> np.ndarray:
+        """Capture a specific frame index."""
+        if index < 0:
+            raise MediaError(f"frame index must be >= 0, got {index}")
+        self.frames_served += 1
+        return self._feed.frame(index)
+
+
+class VirtualMicrophone:
+    """An snd-aloop-style audio device backed by an audio source."""
+
+    def __init__(self, source: AudioSource) -> None:
+        self._source = source
+        self.samples_served = 0
+
+    @property
+    def sample_rate(self) -> int:
+        """Device sample rate."""
+        return self._source.sample_rate
+
+    def read_at(self, time_s: float, duration_s: float) -> np.ndarray:
+        """Capture ``duration_s`` seconds starting at ``time_s``."""
+        if time_s < 0 or duration_s < 0:
+            raise MediaError("time and duration must be >= 0")
+        samples = self._source.read_duration(time_s, duration_s)
+        self.samples_served += len(samples)
+        return samples

@@ -1,0 +1,141 @@
+"""Padding and cropping: the Figure 13 workflow.
+
+"One issue that complicates accurate quality comparison is the fact
+that the video screen rendered by a client is partially blocked by
+client-specific UI widgets ... To avoid such partial occlusion inside
+the video viewing area, we prepare video feeds with enough padding."
+
+The workflow is: pad the injected feed -> stream -> the client renders
+it with UI widgets overlapping only the padding -> record the desktop
+-> crop the padding back out -> resize to the injected resolution ->
+compare.  These helpers implement each step; the UI occlusion itself is
+applied by :mod:`repro.clients.recorder`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MediaError
+from .frames import FrameSource, FrameSpec
+
+#: Default padding added around feeds for QoE experiments, as a
+#: fraction of each dimension on every side.
+DEFAULT_PAD_FRACTION = 0.15
+
+#: Luma of the padding border (mid-grey, like the paper's figure).
+PAD_VALUE = 128
+
+
+def pad_size(dimension: int, pad_fraction: float) -> int:
+    """Pixels of padding added on *each* side of a dimension."""
+    if not 0.0 <= pad_fraction < 0.5:
+        raise MediaError(f"pad_fraction must be in [0, 0.5): {pad_fraction}")
+    return int(round(dimension * pad_fraction))
+
+
+def add_padding(
+    frame: np.ndarray, pad_fraction: float = DEFAULT_PAD_FRACTION
+) -> np.ndarray:
+    """Surround a frame with a uniform border (Fig. 13 preparation)."""
+    if frame.ndim != 2:
+        raise MediaError("expected a single-channel (H, W) frame")
+    pad_h = pad_size(frame.shape[0], pad_fraction)
+    pad_w = pad_size(frame.shape[1], pad_fraction)
+    return np.pad(
+        frame,
+        ((pad_h, pad_h), (pad_w, pad_w)),
+        mode="constant",
+        constant_values=PAD_VALUE,
+    )
+
+
+def crop_padding(
+    frame: np.ndarray,
+    content_shape: tuple[int, int],
+) -> np.ndarray:
+    """Cut the centred content region back out of a padded frame.
+
+    Args:
+        frame: The recorded (padded) frame.
+        content_shape: (height, width) of the original content.
+
+    Raises:
+        MediaError: If the content does not fit inside the frame.
+    """
+    if frame.ndim != 2:
+        raise MediaError("expected a single-channel (H, W) frame")
+    height, width = content_shape
+    if height > frame.shape[0] or width > frame.shape[1]:
+        raise MediaError(
+            f"content {content_shape} larger than frame {frame.shape}"
+        )
+    top = (frame.shape[0] - height) // 2
+    left = (frame.shape[1] - width) // 2
+    return frame[top : top + height, left : left + width]
+
+
+class PaddedSource(FrameSource):
+    """A frame source wrapped with the Fig. 13 padding border.
+
+    The camera feed the harness injects is the *padded* version of the
+    content feed; QoE scoring later crops the padding back out and
+    compares against the unpadded content.
+    """
+
+    def __init__(
+        self, content: FrameSource, pad_fraction: float = DEFAULT_PAD_FRACTION
+    ) -> None:
+        pad_h = pad_size(content.spec.height, pad_fraction)
+        pad_w = pad_size(content.spec.width, pad_fraction)
+        padded_spec = FrameSpec(
+            width=content.spec.width + 2 * pad_w,
+            height=content.spec.height + 2 * pad_h,
+            fps=content.spec.fps,
+        )
+        super().__init__(padded_spec, content.seed)
+        self.content = content
+        self.pad_fraction = pad_fraction
+
+    def frame(self, index: int) -> np.ndarray:
+        return add_padding(self.content.frame(index), self.pad_fraction)
+
+    def crop(self, frame: np.ndarray) -> np.ndarray:
+        """Cut the content region back out of a padded/recorded frame."""
+        return crop_padding(frame, self.content.spec.shape)
+
+
+def resize_frame(frame: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Resize a frame with bilinear interpolation (recording -> feed).
+
+    Implemented directly with numpy gather + lerp so the library does
+    not depend on an image package.
+    """
+    if frame.ndim != 2:
+        raise MediaError("expected a single-channel (H, W) frame")
+    out_h, out_w = shape
+    if out_h < 1 or out_w < 1:
+        raise MediaError(f"invalid target shape: {shape}")
+    in_h, in_w = frame.shape
+    if (in_h, in_w) == (out_h, out_w):
+        return frame.copy()
+
+    data = frame.astype(np.float64)
+    # Sample positions mapping output pixel centres into input space.
+    ys = (np.arange(out_h) + 0.5) * in_h / out_h - 0.5
+    xs = (np.arange(out_w) + 0.5) * in_w / out_w - 0.5
+    ys = np.clip(ys, 0, in_h - 1)
+    xs = np.clip(xs, 0, in_w - 1)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, in_h - 1)
+    x1 = np.minimum(x0 + 1, in_w - 1)
+    wy = (ys - y0)[:, None]
+    wx = (xs - x0)[None, :]
+
+    top = data[y0][:, x0] * (1 - wx) + data[y0][:, x1] * wx
+    bottom = data[y1][:, x0] * (1 - wx) + data[y1][:, x1] * wx
+    resized = top * (1 - wy) + bottom * wy
+    if frame.dtype == np.uint8:
+        return np.clip(np.round(resized), 0, 255).astype(np.uint8)
+    return resized

@@ -1,0 +1,403 @@
+"""A real block-DCT video codec with rate control.
+
+The commercial clients' codecs sit behind end-to-end encryption, so the
+paper treats them as black boxes and observes only their rate/quality
+behaviour.  To reproduce that behaviour mechanistically we implement an
+actual codec -- 8x8 block DCT, JPEG-style frequency-weighted uniform
+quantisation, inter-frame prediction from the previously decoded frame,
+periodic keyframes, and a multiplicative rate controller driving the
+quantiser toward a target bitrate.
+
+This gives the reproduction the property that matters: **quality is
+computed, not assumed**.  High-motion content has large inter-frame
+residuals, so at a fixed bitrate the controller must coarsen the
+quantiser and PSNR/SSIM/VIFp genuinely drop (the paper's Finding-3);
+tighter bandwidth caps force lower encode rates and the Figure 17
+curves emerge from the same mechanics.
+
+Encoded frames store quantised coefficients sparsely (most are zero
+after quantisation) and are fragmented for transport by
+:mod:`repro.media.transport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+from scipy import fft as sp_fft
+
+from ..errors import CodecError, ConfigurationError
+from .frames import FrameSpec
+
+#: Side of the transform block.
+BLOCK = 8
+
+#: Inter blocks whose residual peak is below this luma value are
+#: skipped outright (see the deadzone note in ``VideoCodec.encode``).
+SKIP_DEADZONE_LUMA = 1.25
+
+#: Baseline JPEG luminance quantisation weights (normalised so the DC
+#: weight is 1.0); shapes how quantisation error distributes over
+#: frequencies, which is what makes SSIM/VIFp respond realistically.
+_JPEG_LUMA = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+QUANT_WEIGHTS = _JPEG_LUMA / _JPEG_LUMA[0, 0]
+
+
+@dataclass(frozen=True)
+class VideoCodecConfig:
+    """Tuning knobs of the codec.
+
+    Attributes:
+        gop_size: Distance between keyframes (intra-coded frames).
+        keyframe_boost: Bit-budget multiplier granted to keyframes.
+        q_min / q_max: Quantiser step bounds.
+        initial_q: Starting quantiser step.
+        adaptation_gain: Exponent damping of the rate-control update
+            (0 = frozen quantiser, 1 = full proportional correction).
+    """
+
+    gop_size: int = 30
+    keyframe_boost: float = 4.0
+    q_min: float = 0.05
+    q_max: float = 512.0
+    initial_q: float = 8.0
+    adaptation_gain: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.gop_size < 1:
+            raise ConfigurationError(f"gop_size must be >= 1, got {self.gop_size}")
+        if not 0.0 < self.q_min <= self.initial_q <= self.q_max:
+            raise ConfigurationError("need 0 < q_min <= initial_q <= q_max")
+        if not 0.0 <= self.adaptation_gain <= 1.0:
+            raise ConfigurationError("adaptation_gain must be in [0, 1]")
+        if self.keyframe_boost < 1.0:
+            raise ConfigurationError("keyframe_boost must be >= 1")
+
+
+@dataclass
+class EncodedFrame:
+    """One compressed frame.
+
+    Attributes:
+        index: Frame index in the stream (0-based, monotonic).
+        keyframe: True for intra-coded frames.
+        q_step: Quantiser step used.
+        shape: (height, width) of the padded coefficient plane.
+        crop: Original (height, width) before block padding.
+        indices: Flat positions of non-zero quantised coefficients.
+        values: The non-zero quantised levels.
+        size_bytes: Estimated entropy-coded size (drives packet sizes).
+    """
+
+    index: int
+    keyframe: bool
+    q_step: float
+    shape: tuple[int, int]
+    crop: tuple[int, int]
+    indices: np.ndarray
+    values: np.ndarray
+    size_bytes: int
+
+
+def _pad_to_blocks(frame: np.ndarray) -> np.ndarray:
+    """Edge-pad a frame so both dimensions are multiples of BLOCK."""
+    height, width = frame.shape
+    pad_h = (-height) % BLOCK
+    pad_w = (-width) % BLOCK
+    if pad_h == 0 and pad_w == 0:
+        return frame
+    return np.pad(frame, ((0, pad_h), (0, pad_w)), mode="edge")
+
+
+def _block_dct(plane: np.ndarray) -> np.ndarray:
+    """Forward 8x8 block DCT of a (H, W) plane; H, W multiples of 8."""
+    height, width = plane.shape
+    blocks = plane.reshape(height // BLOCK, BLOCK, width // BLOCK, BLOCK)
+    blocks = blocks.transpose(0, 2, 1, 3)
+    coeffs = sp_fft.dctn(blocks, axes=(-2, -1), norm="ortho")
+    return coeffs
+
+def _block_idct(coeffs: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`_block_dct`; returns a (H, W) plane."""
+    blocks = sp_fft.idctn(coeffs, axes=(-2, -1), norm="ortho")
+    height, width = shape
+    plane = blocks.transpose(0, 2, 1, 3).reshape(height, width)
+    return plane
+
+
+def _estimate_bits(values: np.ndarray, num_blocks: int, occupied_blocks: int) -> int:
+    """Entropy-coding size proxy for the quantised levels.
+
+    Each non-zero level costs a sign bit, a run-length escape and a
+    magnitude code growing with log2(|level|).  Every block carries a
+    one-bit skip flag; blocks with any coded coefficient additionally
+    pay a small header (DC prediction, end-of-block).  Skipped blocks
+    are nearly free, so a static scene compresses to almost nothing --
+    which is what lets the Figure 2 lag detector separate blank frames
+    (small packets) from flash frames (bursts of big packets).
+    """
+    if values.size:
+        magnitudes = np.abs(values.astype(np.float64))
+        per_coeff = 3.0 + 2.0 * np.log2(1.0 + magnitudes)
+        coeff_bits = float(per_coeff.sum())
+    else:
+        coeff_bits = 0.0
+    overhead_bits = 1.0 * num_blocks + 9.0 * occupied_blocks + 256.0
+    return int(np.ceil((coeff_bits + overhead_bits) / 8.0))
+
+
+class RateController:
+    """Multiplicative quantiser adaptation toward a bit budget.
+
+    After each frame the quantiser step is scaled by
+    ``(actual_bits / target_bits) ** gain`` and clamped to the config's
+    bounds -- the classic "buffer-based" controller shape used by
+    real-time encoders.
+    """
+
+    def __init__(self, config: VideoCodecConfig, target_bps: float, fps: float) -> None:
+        if target_bps <= 0 or fps <= 0:
+            raise ConfigurationError("target_bps and fps must be positive")
+        self._config = config
+        self._fps = fps
+        self._q = config.initial_q
+        self.set_target(target_bps)
+
+    @property
+    def q_step(self) -> float:
+        """Current quantiser step."""
+        return self._q
+
+    @property
+    def target_bps(self) -> float:
+        """Current bitrate target."""
+        return self._target_bps
+
+    def set_target(self, target_bps: float) -> None:
+        """Change the bitrate target (platform rate-control decisions)."""
+        if target_bps <= 0:
+            raise ConfigurationError(f"target_bps must be positive: {target_bps}")
+        self._target_bps = float(target_bps)
+
+    def frame_budget_bits(self, keyframe: bool) -> float:
+        """Bit budget for the next frame.
+
+        Budgets are normalised over a GOP so the *average* rate equals
+        the target even though keyframes get a boosted share: one
+        boosted keyframe plus ``gop-1`` inter frames must spend exactly
+        ``gop`` frame-periods of bits.
+        """
+        gop = self._config.gop_size
+        boost = self._config.keyframe_boost
+        per_frame = self._target_bps / self._fps
+        inter_share = gop / (gop - 1.0 + boost) if gop > 1 else 1.0
+        base = per_frame * inter_share
+        return base * (boost if keyframe else 1.0)
+
+    def update(self, actual_bits: float, keyframe: bool) -> None:
+        """Adapt the quantiser from the realised frame size."""
+        budget = self.frame_budget_bits(keyframe)
+        ratio = max(0.1, min(10.0, actual_bits / max(budget, 1.0)))
+        self._q *= ratio ** self._config.adaptation_gain
+        self._q = float(np.clip(self._q, self._config.q_min, self._config.q_max))
+
+
+class VideoCodec:
+    """Encoder/decoder pair over a shared configuration.
+
+    The encoder maintains its own decoded reference (as real encoders
+    do) so encoder and decoder stay in sync as long as no frames are
+    lost.  The decoder freezes on reference gaps and resynchronises at
+    the next keyframe, reproducing the stall-then-recover behaviour the
+    paper observes on Webex under tight caps.
+    """
+
+    def __init__(
+        self,
+        spec: FrameSpec,
+        config: Optional[VideoCodecConfig] = None,
+        target_bps: float = 1_000_000.0,
+    ) -> None:
+        self.spec = spec
+        self.config = config if config is not None else VideoCodecConfig()
+        self.rate_controller = RateController(self.config, target_bps, spec.fps)
+        self._reference: Optional[np.ndarray] = None
+        self._frame_index = 0
+        self._force_keyframe = False
+
+    def request_keyframe(self) -> None:
+        """Force the next encoded frame to be intra-coded.
+
+        The sender calls this on a PLI-style feedback message, letting
+        receivers resynchronise after loss within roughly one RTT
+        instead of waiting out the GOP.
+        """
+        self._force_keyframe = True
+
+    # ----------------------------------------------------------------- #
+    # Encoding.
+    # ----------------------------------------------------------------- #
+
+    def encode(self, frame: np.ndarray) -> EncodedFrame:
+        """Encode the next frame of the stream."""
+        if frame.shape != self.spec.shape:
+            raise CodecError(
+                f"frame shape {frame.shape} does not match spec {self.spec.shape}"
+            )
+        index = self._frame_index
+        keyframe = (
+            index % self.config.gop_size == 0
+            or self._reference is None
+            or self._force_keyframe
+        )
+        self._force_keyframe = False
+        plane = _pad_to_blocks(frame.astype(np.float64))
+        if keyframe:
+            residual = plane - 128.0
+        else:
+            residual = plane - self._reference
+
+        coeffs = _block_dct(residual)
+        q_step = self.rate_controller.q_step
+        divisor = q_step * QUANT_WEIGHTS
+        levels = np.round(coeffs / divisor).astype(np.int32)
+
+        # Skip deadzone: blocks whose residual is within a luma step of
+        # zero carry no signal, only quantisation noise from earlier
+        # frames; coding them would make the encoder chase its own
+        # reconstruction error forever on static content.
+        if not keyframe:
+            block_peak = np.abs(residual).reshape(
+                residual.shape[0] // BLOCK, BLOCK,
+                residual.shape[1] // BLOCK, BLOCK,
+            ).transpose(0, 2, 1, 3).reshape(levels.shape[0], levels.shape[1], -1
+            ).max(axis=-1)
+            levels[block_peak < SKIP_DEADZONE_LUMA] = 0
+
+        flat = levels.reshape(-1)
+        nonzero = np.nonzero(flat)[0]
+        values = flat[nonzero].astype(np.int16)
+        num_blocks = levels.shape[0] * levels.shape[1]
+        occupied = int(
+            levels.reshape(num_blocks, BLOCK * BLOCK).any(axis=-1).sum()
+        )
+        size_bytes = _estimate_bits(values, num_blocks, occupied)
+
+        encoded = EncodedFrame(
+            index=index,
+            keyframe=keyframe,
+            q_step=q_step,
+            shape=plane.shape,
+            crop=frame.shape,
+            indices=nonzero.astype(np.int32),
+            values=values,
+            size_bytes=size_bytes,
+        )
+
+        # Reconstruct exactly as the decoder will, to keep references
+        # in sync (closed-loop prediction).
+        self._reference = self._reconstruct_plane(encoded, self._reference)
+        self._frame_index += 1
+        self.rate_controller.update(size_bytes * 8.0, keyframe)
+        return encoded
+
+    def _reconstruct_plane(
+        self, encoded: EncodedFrame, reference: Optional[np.ndarray]
+    ) -> np.ndarray:
+        blocks_shape = (
+            encoded.shape[0] // BLOCK,
+            encoded.shape[1] // BLOCK,
+            BLOCK,
+            BLOCK,
+        )
+        flat = np.zeros(int(np.prod(blocks_shape)), dtype=np.float64)
+        flat[encoded.indices] = encoded.values.astype(np.float64)
+        levels = flat.reshape(blocks_shape)
+        coeffs = levels * (encoded.q_step * QUANT_WEIGHTS)
+        residual = _block_idct(coeffs, encoded.shape)
+        if encoded.keyframe:
+            plane = residual + 128.0
+        else:
+            if reference is None:
+                raise CodecError("inter frame without a reference")
+            plane = residual + reference
+        return np.clip(plane, 0.0, 255.0)
+
+
+class VideoDecoder:
+    """Stateful decoder: freezes on gaps, resyncs on keyframes.
+
+    Attributes:
+        frames_decoded: Successfully decoded frame count.
+        frames_frozen: Frames rendered as a freeze (gap before resync).
+    """
+
+    def __init__(self, spec: FrameSpec) -> None:
+        self.spec = spec
+        self._reference: Optional[np.ndarray] = None
+        self._next_expected = 0
+        self._awaiting_keyframe = False
+        self.frames_decoded = 0
+        self.frames_frozen = 0
+
+    @property
+    def last_frame(self) -> Optional[np.ndarray]:
+        """The most recently rendered frame (uint8), if any."""
+        if self._reference is None:
+            return None
+        height, width = self.spec.shape
+        return np.clip(self._reference[:height, :width], 0, 255).astype(np.uint8)
+
+    def decode(self, encoded: EncodedFrame) -> Optional[np.ndarray]:
+        """Decode one frame; returns the rendered uint8 frame.
+
+        Returns the frozen previous frame (or ``None`` before any
+        output) when the stream has a gap and ``encoded`` is not a
+        keyframe -- rendering continues but the new data is unusable.
+        """
+        gap = encoded.index != self._next_expected
+        if gap and not encoded.keyframe:
+            self._awaiting_keyframe = True
+        if self._awaiting_keyframe and not encoded.keyframe:
+            self._next_expected = encoded.index + 1
+            self.frames_frozen += 1
+            return self.last_frame
+        if not encoded.keyframe and self._reference is None:
+            self._next_expected = encoded.index + 1
+            self.frames_frozen += 1
+            return None
+
+        codec = VideoCodec(self.spec)  # geometry helper; no state used
+        self._reference = codec._reconstruct_plane(
+            encoded, self._reference if not encoded.keyframe else None
+        )
+        self._awaiting_keyframe = False
+        self._next_expected = encoded.index + 1
+        self.frames_decoded += 1
+        return self.last_frame
+
+    def mark_lost(self, frame_index: int) -> Optional[np.ndarray]:
+        """Record that ``frame_index`` was lost in transport.
+
+        The decoder renders a freeze and will wait for the next
+        keyframe before trusting inter frames again.
+        """
+        if frame_index >= self._next_expected:
+            self._next_expected = frame_index + 1
+        self._awaiting_keyframe = True
+        self.frames_frozen += 1
+        return self.last_frame

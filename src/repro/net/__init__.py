@@ -1,0 +1,50 @@
+"""Network substrate: discrete-event packet simulation with geography.
+
+This package stands in for the paper's measurement network (Azure VMs in
+twelve regions, the public Internet between them, and a residential
+access network for the mobile testbed).  It provides:
+
+* :mod:`repro.net.geo` — locations and a great-circle latency model,
+* :mod:`repro.net.regions` — the paper's Table 3 region registry,
+* :mod:`repro.net.simulator` — the discrete-event engine,
+* :mod:`repro.net.node` — hosts with ports, clocks and captures,
+* :mod:`repro.net.link` — access links with serialisation and queueing,
+* :mod:`repro.net.shaper` — token-bucket ingress shaping (tc/ifb),
+* :mod:`repro.net.capture` — tcpdump-like packet capture,
+* :mod:`repro.net.routing` — the fabric that moves packets between hosts.
+"""
+
+from .address import Address, EndpointKey
+from .capture import CapturedPacket, Capture, Direction
+from .clock import Clock, SyncedClockFactory
+from .geo import GeoPoint, LatencyModel, great_circle_km
+from .link import AccessLink
+from .node import Host
+from .packet import Packet, Protocol
+from .regions import Region, RegionRegistry, default_registry
+from .routing import Network
+from .shaper import TokenBucketShaper
+from .simulator import Simulator
+
+__all__ = [
+    "AccessLink",
+    "Address",
+    "Capture",
+    "CapturedPacket",
+    "Clock",
+    "Direction",
+    "EndpointKey",
+    "GeoPoint",
+    "Host",
+    "LatencyModel",
+    "Network",
+    "Packet",
+    "Protocol",
+    "Region",
+    "RegionRegistry",
+    "Simulator",
+    "SyncedClockFactory",
+    "TokenBucketShaper",
+    "default_registry",
+    "great_circle_km",
+]

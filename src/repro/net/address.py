@@ -1,0 +1,127 @@
+"""Network addressing: host addresses and service-endpoint keys.
+
+The paper identifies streaming service endpoints by ``(IP address,
+TCP/UDP port)`` discovered from packet traces (Section 3.2).  We model
+the same: every host owns an IP-like string address, and services bind
+ports on hosts.  :class:`EndpointKey` is the hashable (ip, port, proto)
+triple that the client monitor extracts from captures and probes with
+RTT measurements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ConfigurationError
+
+#: Designated streaming ports observed by the paper (Section 4.2).
+ZOOM_UDP_PORT = 8801
+WEBEX_UDP_PORT = 9000
+MEET_UDP_PORT = 19305
+
+#: Lowest ephemeral port handed out by :class:`EphemeralPortAllocator`.
+EPHEMERAL_PORT_BASE = 49152
+EPHEMERAL_PORT_MAX = 65535
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A transport address: ``ip:port``.
+
+    Attributes:
+        ip: Dotted-quad style identifier.  The simulator does not parse
+            it; it only needs to be unique per host interface.
+        port: Transport port number, 1-65535.
+    """
+
+    ip: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.ip:
+            raise ConfigurationError("ip must be non-empty")
+        if not 1 <= self.port <= 65535:
+            raise ConfigurationError(f"port out of range: {self.port}")
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+    def with_port(self, port: int) -> "Address":
+        """A copy of this address bound to a different port."""
+        return Address(self.ip, port)
+
+
+@dataclass(frozen=True, order=True)
+class EndpointKey:
+    """Hashable identity of a streaming service endpoint.
+
+    This is what the paper's active-probing pipeline discovers from
+    traffic: the (ip, port, protocol) of the platform relay a client is
+    streaming through.
+    """
+
+    ip: str
+    port: int
+    proto: str = "udp"
+
+    @classmethod
+    def of(cls, address: Address, proto: str = "udp") -> "EndpointKey":
+        """Build a key from an :class:`Address`."""
+        return cls(address.ip, address.port, proto)
+
+    @property
+    def address(self) -> Address:
+        """The transport address of this endpoint."""
+        return Address(self.ip, self.port)
+
+    def __str__(self) -> str:
+        return f"{self.proto}://{self.ip}:{self.port}"
+
+
+class IpAllocator:
+    """Hands out unique synthetic IPv4-style addresses.
+
+    Each network owns one allocator so host addresses never collide.
+    Addresses are drawn from distinct /16s per "network tier" so traces
+    are easy to read (clients vs platform infrastructure).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Iterator[int]] = {}
+        self._prefixes = {"client": "10.0", "infra": "172.16", "mobile": "192.168"}
+
+    def allocate(self, tier: str = "client") -> str:
+        """Return the next unused IP in the given tier.
+
+        Raises :class:`~repro.errors.ConfigurationError` for an unknown
+        tier name.
+        """
+        if tier not in self._prefixes:
+            raise ConfigurationError(f"unknown address tier: {tier!r}")
+        counter = self._counters.setdefault(tier, itertools.count(1))
+        value = next(counter)
+        high, low = divmod(value, 250)
+        return f"{self._prefixes[tier]}.{high}.{low + 1}"
+
+
+class EphemeralPortAllocator:
+    """Per-host allocator for ephemeral source ports.
+
+    Zoom's two-party calls stream peer-to-peer "on an ephemeral port"
+    (Section 4.2, footnote 2); this allocator provides those ports.
+    """
+
+    def __init__(self, base: int = EPHEMERAL_PORT_BASE) -> None:
+        if not EPHEMERAL_PORT_BASE <= base <= EPHEMERAL_PORT_MAX:
+            raise ConfigurationError(f"ephemeral base out of range: {base}")
+        self._next = base
+
+    def allocate(self) -> int:
+        """Return the next free ephemeral port."""
+        if self._next > EPHEMERAL_PORT_MAX:
+            raise ConfigurationError("ephemeral port space exhausted")
+        port = self._next
+        self._next += 1
+        return port

@@ -1,0 +1,232 @@
+"""Packet capture: the simulator's ``tcpdump``.
+
+The paper's client monitor "captures incoming/outgoing videoconferencing
+traffic with tcpdump, and dumps the trace to a file for offline
+analysis" (Section 3.2).  A :class:`Capture` attached to a host records
+every packet the host sends or receives, timestamped with the host's
+*local* clock (so cross-host correlation inherits realistic clock
+error), and offers the query helpers the paper's analyses need:
+endpoint discovery, Layer-7 data rates, and time/size series for the
+lag detector of Figure 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Set, Tuple
+
+from ..errors import CaptureError
+from ..units import rate_from_bytes
+from .address import EndpointKey
+from .packet import Packet, PacketKind, Protocol
+
+
+class Direction(str, enum.Enum):
+    """Whether the host sent or received the packet."""
+
+    IN = "in"
+    OUT = "out"
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """One record in a capture file.
+
+    Attributes:
+        timestamp: Host-local capture time (includes clock error).
+        direction: :data:`Direction.IN` or :data:`Direction.OUT`.
+        src_ip/src_port/dst_ip/dst_port: Transport 4-tuple.
+        proto: Transport protocol.
+        kind: Semantic packet type (media, probe...).
+        wire_bytes: On-the-wire packet size.
+        payload_bytes: Layer-7 payload length (rate analyses use this).
+        flow_id: Media stream correlation id.
+        packet_id: Simulator-unique packet id.
+    """
+
+    timestamp: float
+    direction: Direction
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    proto: Protocol
+    kind: PacketKind
+    wire_bytes: int
+    payload_bytes: int
+    flow_id: str
+    packet_id: int
+
+    @property
+    def remote_endpoint(self) -> EndpointKey:
+        """The non-local side of the packet as an endpoint key."""
+        if self.direction is Direction.OUT:
+            return EndpointKey(self.dst_ip, self.dst_port, self.proto.value)
+        return EndpointKey(self.src_ip, self.src_port, self.proto.value)
+
+
+class Capture:
+    """An in-memory pcap: append-only while running, queryable after.
+
+    Captures are created via :meth:`repro.net.node.Host.start_capture`
+    and can be stopped to freeze their contents; querying a running
+    capture is allowed (the monitor's on-the-fly "active probing"
+    pipeline does exactly that).
+    """
+
+    def __init__(self, host_name: str) -> None:
+        self.host_name = host_name
+        self._records: List[CapturedPacket] = []
+        self._running = True
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def running(self) -> bool:
+        """Whether the capture is still recording."""
+        return self._running
+
+    def stop(self) -> None:
+        """Stop recording; subsequent packets are ignored."""
+        self._running = False
+
+    def record(self, packet: Packet, direction: Direction, local_time: float) -> None:
+        """Append one packet record (called by the owning host)."""
+        if not self._running:
+            return
+        self._records.append(
+            CapturedPacket(
+                timestamp=local_time,
+                direction=direction,
+                src_ip=packet.src.ip,
+                src_port=packet.src.port,
+                dst_ip=packet.dst.ip,
+                dst_port=packet.dst.port,
+                proto=packet.proto,
+                kind=packet.kind,
+                wire_bytes=packet.wire_bytes,
+                payload_bytes=packet.payload_bytes,
+                flow_id=packet.flow_id,
+                packet_id=packet.packet_id,
+            )
+        )
+
+    # ----------------------------------------------------------------- #
+    # Query helpers (the "offline analysis" toolbox).
+    # ----------------------------------------------------------------- #
+
+    def filter(
+        self,
+        direction: Optional[Direction] = None,
+        kind: Optional[PacketKind] = None,
+        kinds: Optional[Iterable[PacketKind]] = None,
+        remote_port: Optional[int] = None,
+        flow_id: Optional[str] = None,
+        predicate: Optional[Callable[[CapturedPacket], bool]] = None,
+    ) -> List[CapturedPacket]:
+        """Select records matching all given criteria (BPF, kindly)."""
+        if kind is not None and kinds is not None:
+            raise CaptureError("pass either kind or kinds, not both")
+        kind_set = {kind} if kind is not None else set(kinds) if kinds else None
+        result = []
+        for record in self._records:
+            if direction is not None and record.direction is not direction:
+                continue
+            if kind_set is not None and record.kind not in kind_set:
+                continue
+            if remote_port is not None and record.remote_endpoint.port != remote_port:
+                continue
+            if flow_id is not None and record.flow_id != flow_id:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            result.append(record)
+        return result
+
+    def time_size_series(
+        self,
+        direction: Direction,
+        kind: Optional[PacketKind] = None,
+    ) -> List[Tuple[float, int]]:
+        """(timestamp, payload_bytes) pairs, the raw data of Figure 2."""
+        return [
+            (r.timestamp, r.payload_bytes)
+            for r in self.filter(direction=direction, kind=kind)
+        ]
+
+    def total_payload_bytes(
+        self, direction: Direction, kind: Optional[PacketKind] = None
+    ) -> int:
+        """Sum of L7 payload bytes in one direction."""
+        return sum(r.payload_bytes for r in self.filter(direction=direction, kind=kind))
+
+    def payload_rate_bps(
+        self,
+        direction: Direction,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        kind: Optional[PacketKind] = None,
+    ) -> float:
+        """Average Layer-7 data rate over a time window.
+
+        This is the paper's Fig. 15 metric ("computed from Layer-7
+        payload length in pcap traces").  The window defaults to the
+        first/last matching packet timestamps.
+
+        Raises :class:`~repro.errors.CaptureError` if no packets match.
+        """
+        records = self.filter(direction=direction, kind=kind)
+        if start is not None or end is not None:
+            lo = start if start is not None else float("-inf")
+            hi = end if end is not None else float("inf")
+            records = [r for r in records if lo <= r.timestamp <= hi]
+        if not records:
+            raise CaptureError("no packets in window; cannot compute a rate")
+        if start is None:
+            start = records[0].timestamp
+        if end is None:
+            end = records[-1].timestamp
+        duration = end - start
+        if duration <= 0:
+            raise CaptureError("rate window must have positive duration")
+        total = sum(r.payload_bytes for r in records)
+        return rate_from_bytes(total, duration)
+
+    def remote_endpoints(
+        self,
+        direction: Optional[Direction] = None,
+        port: Optional[int] = None,
+        media_only: bool = True,
+    ) -> Set[EndpointKey]:
+        """Distinct remote endpoints seen in the trace.
+
+        This is the monitor's endpoint-discovery step: the paper counts
+        how many distinct streaming endpoints a client encounters over
+        sessions (Section 4.2's 20 / 19.5 / 1.8 finding).
+        """
+        media_kinds = {PacketKind.MEDIA_VIDEO, PacketKind.MEDIA_AUDIO}
+        found: Set[EndpointKey] = set()
+        for record in self._records:
+            if direction is not None and record.direction is not direction:
+                continue
+            if media_only and record.kind not in media_kinds:
+                continue
+            endpoint = record.remote_endpoint
+            if port is not None and endpoint.port != port:
+                continue
+            found.add(endpoint)
+        return found
+
+    def span(self) -> Tuple[float, float]:
+        """(first, last) record timestamps.
+
+        Raises :class:`~repro.errors.CaptureError` on an empty capture.
+        """
+        if not self._records:
+            raise CaptureError("capture is empty")
+        return self._records[0].timestamp, self._records[-1].timestamp

@@ -1,0 +1,135 @@
+"""Geographic model: points on the globe and a distance-based latency model.
+
+The paper's lag and RTT findings are driven almost entirely by the
+geographic separation between clients and the platforms' relay
+infrastructure (Findings 1 and 2).  This module supplies the physics:
+great-circle distances between named locations, and a latency model that
+converts distance into one-way network delay using fibre propagation
+speed, a route-inflation factor (real Internet paths are not geodesics),
+and a small per-path processing overhead.
+
+The defaults are calibrated so that well-known paths land near their
+published RTTs (US-east <-> US-west about 60 ms, trans-Atlantic about
+80-90 ms), which is what the paper's Figures 8-11 depend on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import FIBER_LIGHT_SPEED_M_PER_S, ms
+
+#: Mean Earth radius in kilometres.
+EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A named point on the globe.
+
+    Attributes:
+        name: Human-readable label, e.g. ``"US-East"``.
+        lat: Latitude in degrees (positive north).
+        lon: Longitude in degrees (positive east).
+    """
+
+    name: str
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ConfigurationError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ConfigurationError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return great_circle_km(self.lat, self.lon, other.lat, other.lon)
+
+
+def great_circle_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two lat/lon points (haversine).
+
+    >>> round(great_circle_km(0, 0, 0, 0), 6)
+    0.0
+    """
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Distance -> one-way delay model.
+
+    One-way delay between two points is computed as::
+
+        distance_km * inflation(distance) / fibre_speed + overhead
+
+    Route inflation (the ratio of cable path to geodesic) is *distance
+    dependent* on the real Internet: short continental paths detour
+    through exchange points (inflation 1.5-1.8) while long submarine
+    routes run nearly great-circle (1.2-1.3).  We model it as
+    ``base + extra * exp(-distance / scale)``, which reproduces both
+    the ~60 ms US coast-to-coast RTT and the ~75-80 ms trans-Atlantic
+    RTT that Figures 8-11 hinge on.
+
+    Attributes:
+        inflation_base: Asymptotic inflation of very long paths.
+        inflation_extra: Additional inflation at zero distance.
+        inflation_scale_km: Decay scale of the extra inflation.
+        processing_overhead_s: Fixed per-direction overhead for
+            serialisation, switching and last-mile hops.
+        jitter_fraction: Scale of random per-packet jitter relative to
+            the propagation delay; consumed by the fabric, not here.
+        min_delay_s: Floor for delay between co-located hosts (two VMs
+            in the same region are still ~0.5 ms apart).
+    """
+
+    inflation_base: float = 1.2
+    inflation_extra: float = 0.5
+    inflation_scale_km: float = 3500.0
+    processing_overhead_s: float = ms(1.2)
+    jitter_fraction: float = 0.04
+    min_delay_s: float = ms(0.5)
+
+    def __post_init__(self) -> None:
+        if self.inflation_base < 1.0:
+            raise ConfigurationError(
+                f"base inflation must be >= 1.0, got {self.inflation_base}"
+            )
+        if self.inflation_extra < 0 or self.inflation_scale_km <= 0:
+            raise ConfigurationError("inflation shape parameters invalid")
+        if self.processing_overhead_s < 0 or self.min_delay_s < 0:
+            raise ConfigurationError("delays must be non-negative")
+
+    def route_inflation(self, distance_km: float) -> float:
+        """Path inflation factor at a given geodesic distance."""
+        return self.inflation_base + self.inflation_extra * math.exp(
+            -distance_km / self.inflation_scale_km
+        )
+
+    def one_way_delay_s(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Deterministic one-way propagation delay between two points."""
+        distance_km = a.distance_km(b)
+        inflation = self.route_inflation(distance_km)
+        propagation = (
+            distance_km * 1000.0 * inflation / FIBER_LIGHT_SPEED_M_PER_S
+        )
+        return max(self.min_delay_s, propagation + self.processing_overhead_s)
+
+    def rtt_s(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Deterministic round-trip time between two points."""
+        return 2.0 * self.one_way_delay_s(a, b)
+
+    def jitter_scale_s(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Standard scale of per-packet jitter on the a->b path."""
+        return self.jitter_fraction * self.one_way_delay_s(a, b)

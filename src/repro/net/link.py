@@ -1,0 +1,85 @@
+"""Access links: per-host uplink/downlink with serialisation queues.
+
+Every host attaches to the fabric through an :class:`AccessLink` that
+models the capacity of its network attachment -- multi-Gbps for the
+paper's Azure Fsv2 VMs, 50 Mbps symmetric for the Raspberry-Pi WiFi the
+Android phones use, and anything in between for what-if experiments.
+
+Serialisation is modelled with a per-direction virtual clock: a packet
+departs at ``max(now, link_free) + wire_bits / rate`` and the link is
+busy until then.  An optional ingress :class:`TokenBucketShaper`
+reproduces the Section 4.4 bandwidth-cap setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..units import gbps, transmission_delay
+from .shaper import TokenBucketShaper
+
+
+@dataclass
+class AccessLink:
+    """A host's attachment to the network.
+
+    Attributes:
+        uplink_bps: Transmit capacity in bits/second.
+        downlink_bps: Receive capacity in bits/second.
+        ingress_shaper: Optional token-bucket applied to incoming
+            packets *before* downlink serialisation (tc/ifb position).
+    """
+
+    uplink_bps: float = gbps(2)
+    downlink_bps: float = gbps(2)
+    ingress_shaper: Optional[TokenBucketShaper] = None
+    _uplink_free: float = field(default=0.0, repr=False)
+    _downlink_free: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.uplink_bps <= 0 or self.downlink_bps <= 0:
+            raise ConfigurationError("link rates must be positive")
+
+    def reserve_uplink(self, now: float, wire_bytes: int) -> float:
+        """Queue a packet for transmission; returns its departure time."""
+        start = max(now, self._uplink_free)
+        departure = start + transmission_delay(wire_bytes, self.uplink_bps)
+        self._uplink_free = departure
+        return departure
+
+    def reserve_downlink(self, now: float, wire_bytes: int) -> float:
+        """Queue an arriving packet; returns its delivery time."""
+        start = max(now, self._downlink_free)
+        delivery = start + transmission_delay(wire_bytes, self.downlink_bps)
+        self._downlink_free = delivery
+        return delivery
+
+    def set_ingress_cap(
+        self,
+        rate_bps: Optional[float],
+        burst_bytes: int = 16_000,
+        max_queue_delay_s: float = 0.2,
+    ) -> None:
+        """Install (or with ``None``, remove) an ingress bandwidth cap.
+
+        This is the experiment hook for Section 4.4: ``None`` restores
+        the "Infinite" column of Figures 17-18.
+        """
+        if rate_bps is None:
+            self.ingress_shaper = None
+            return
+        self.ingress_shaper = TokenBucketShaper(
+            rate_bps=rate_bps,
+            burst_bytes=burst_bytes,
+            max_queue_delay_s=max_queue_delay_s,
+        )
+
+    def uplink_backlog(self, now: float) -> float:
+        """Seconds of queued transmission ahead of a new packet."""
+        return max(0.0, self._uplink_free - now)
+
+    def downlink_backlog(self, now: float) -> float:
+        """Seconds of queued delivery ahead of a new arrival."""
+        return max(0.0, self._downlink_free - now)

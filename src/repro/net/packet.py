@@ -1,0 +1,115 @@
+"""Packet records that traverse the simulated network.
+
+A :class:`Packet` is the unit moved by the fabric.  It carries wire
+sizes (for serialisation/queueing and traffic-rate accounting), an L7
+payload length (the paper computes data rates "from Layer-7 payload
+length in pcap traces", Fig. 15), and an opaque payload object used by
+the media pipeline to move encoded chunk fragments end to end.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from ..errors import ConfigurationError
+from .address import Address
+
+#: Standard Ethernet MTU payload budget used by the packetiser.
+DEFAULT_MTU_BYTES = 1200
+
+#: Approximate IP+UDP+SRTP framing overhead added to every packet.
+HEADER_OVERHEAD_BYTES = 40
+
+
+class Protocol(str, enum.Enum):
+    """Transport protocol of a packet."""
+
+    UDP = "udp"
+    TCP = "tcp"
+
+
+class PacketKind(str, enum.Enum):
+    """What a packet carries; used by captures and service logic."""
+
+    MEDIA_VIDEO = "media-video"
+    MEDIA_AUDIO = "media-audio"
+    PROBE = "probe"
+    PROBE_REPLY = "probe-reply"
+    SIGNALING = "signaling"
+    FEEDBACK = "feedback"
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One packet on the wire.
+
+    Attributes:
+        src: Source transport address.
+        dst: Destination transport address.
+        payload_bytes: Layer-7 payload length.
+        proto: Transport protocol.
+        kind: Semantic type of the packet.
+        flow_id: Identifier correlating packets of one media stream.
+        payload: Opaque payload delivered to the receiver (e.g. a
+            :class:`~repro.media.video_codec.ChunkFragment`).
+        packet_id: Unique id assigned at construction.
+        sent_at: Simulation time when the sender handed the packet to
+            its uplink; stamped by the host.
+        metadata: Free-form annotations (frame ids, burst markers...).
+    """
+
+    src: Address
+    dst: Address
+    payload_bytes: int
+    proto: Protocol = Protocol.UDP
+    kind: PacketKind = PacketKind.MEDIA_VIDEO
+    flow_id: str = ""
+    payload: Any = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    sent_at: Optional[float] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ConfigurationError(
+                f"payload_bytes must be >= 0, got {self.payload_bytes}"
+            )
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total on-the-wire size including header overhead."""
+        return self.payload_bytes + HEADER_OVERHEAD_BYTES
+
+    def reply_template(self, payload_bytes: int, kind: PacketKind) -> "Packet":
+        """A new packet from ``dst`` back to ``src``.
+
+        Used by probe responders and feedback loops; the reply gets a
+        fresh packet id and cleared timestamps.
+        """
+        return Packet(
+            src=self.dst,
+            dst=self.src,
+            payload_bytes=payload_bytes,
+            proto=self.proto,
+            kind=kind,
+            flow_id=self.flow_id,
+            metadata={"in_reply_to": self.packet_id},
+        )
+
+    def forwarded_to(self, src: Address, dst: Address) -> "Packet":
+        """A relayed copy of this packet with new endpoints.
+
+        Relay services (SFUs) use this to fan a sender's packet out to
+        each receiver while preserving payload, flow and metadata.
+        """
+        clone = replace(self, src=src, dst=dst)
+        clone.packet_id = next(_packet_ids)
+        clone.sent_at = None
+        clone.metadata = dict(self.metadata)
+        return clone

@@ -1,0 +1,178 @@
+"""The network fabric: moves packets between hosts.
+
+:class:`Network` ties the pieces together -- a simulator, a latency
+model, an IP allocator and the set of hosts.  Transmitting a packet
+walks the same pipeline a real packet would:
+
+1. serialisation onto the sender's uplink (queueing behind earlier
+   packets),
+2. propagation across the wide area (geo distance, route inflation,
+   per-packet jitter, optional random loss),
+3. the receiver's ingress shaper, if a bandwidth cap is installed
+   (Section 4.4's tc/ifb position) -- packets may be delayed or
+   tail-dropped here,
+4. serialisation on the receiver's downlink, then delivery to the
+   bound port handler.
+
+All randomness flows through one seeded generator, so experiments are
+reproducible end to end (design goal D3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, RoutingError
+from .address import IpAllocator
+from .clock import Clock, PERFECT_CLOCK
+from .geo import GeoPoint, LatencyModel
+from .link import AccessLink
+from .node import Host
+from .packet import Packet
+from .simulator import Simulator
+
+
+class Network:
+    """A geographic packet network with attached hosts.
+
+    Attributes:
+        simulator: The event loop everything runs on.
+        latency_model: Distance -> delay model for host pairs.
+        base_loss_rate: Probability that any wide-area traversal loses
+            the packet (independent of shaper drops).  Default 0: the
+            paper's cloud paths are effectively loss-free at the rates
+            measured; residential experiments may raise it.
+    """
+
+    def __init__(
+        self,
+        simulator: Optional[Simulator] = None,
+        latency_model: Optional[LatencyModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        base_loss_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= base_loss_rate < 1.0:
+            raise ConfigurationError(f"loss rate out of range: {base_loss_rate}")
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.latency_model = (
+            latency_model if latency_model is not None else LatencyModel()
+        )
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.base_loss_rate = base_loss_rate
+        self._hosts_by_ip: Dict[str, Host] = {}
+        self._hosts_by_name: Dict[str, Host] = {}
+        self._ip_allocator = IpAllocator()
+        self.packets_lost = 0
+        self.packets_shaper_dropped = 0
+
+    # ----------------------------------------------------------------- #
+    # Topology.
+    # ----------------------------------------------------------------- #
+
+    def add_host(
+        self,
+        name: str,
+        location: GeoPoint,
+        link: Optional[AccessLink] = None,
+        clock: Clock = PERFECT_CLOCK,
+        tier: str = "client",
+    ) -> Host:
+        """Create a host, allocate it an address and attach it.
+
+        Raises :class:`~repro.errors.ConfigurationError` on duplicate
+        host names; experiments address hosts by name.
+        """
+        if name in self._hosts_by_name:
+            raise ConfigurationError(f"duplicate host name: {name!r}")
+        ip = self._ip_allocator.allocate(tier)
+        host = Host(
+            name=name,
+            ip=ip,
+            location=location,
+            network=self,
+            link=link,
+            clock=clock,
+        )
+        self._hosts_by_ip[ip] = host
+        self._hosts_by_name[name] = host
+        return host
+
+    def host_by_ip(self, ip: str) -> Host:
+        """Look up a host by address."""
+        try:
+            return self._hosts_by_ip[ip]
+        except KeyError:
+            raise RoutingError(f"no host with ip {ip!r}") from None
+
+    def host_by_name(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self._hosts_by_name[name]
+        except KeyError:
+            raise RoutingError(f"no host named {name!r}") from None
+
+    def hosts(self) -> list[Host]:
+        """All attached hosts, in attach order."""
+        return list(self._hosts_by_name.values())
+
+    # ----------------------------------------------------------------- #
+    # Transmission pipeline.
+    # ----------------------------------------------------------------- #
+
+    def transmit(self, packet: Packet) -> None:
+        """Entry point used by :meth:`Host.send`."""
+        source = self.host_by_ip(packet.src.ip)
+        if packet.dst.ip not in self._hosts_by_ip:
+            raise RoutingError(f"no route to {packet.dst.ip!r}")
+        departure = source.link.reserve_uplink(self.simulator.now, packet.wire_bytes)
+        self.simulator.schedule_at(departure, self._propagate, packet)
+
+    def _propagate(self, packet: Packet) -> None:
+        if self.base_loss_rate > 0 and self.rng.random() < self.base_loss_rate:
+            self.packets_lost += 1
+            return
+        source = self.host_by_ip(packet.src.ip)
+        destination = self.host_by_ip(packet.dst.ip)
+        delay = self.one_way_delay(source, destination, sample_jitter=True)
+        self.simulator.schedule(delay, self._arrive, packet, destination)
+
+    def _arrive(self, packet: Packet, destination: Host) -> None:
+        now = self.simulator.now
+        release = now
+        shaper = destination.link.ingress_shaper
+        if shaper is not None:
+            shaped = shaper.submit(now, packet.wire_bytes)
+            if shaped is None:
+                self.packets_shaper_dropped += 1
+                return
+            release = shaped
+        delivery = destination.link.reserve_downlink(release, packet.wire_bytes)
+        self.simulator.schedule_at(delivery, destination.deliver, packet)
+
+    # ----------------------------------------------------------------- #
+    # Path properties.
+    # ----------------------------------------------------------------- #
+
+    def one_way_delay(
+        self, a: Host, b: Host, sample_jitter: bool = False
+    ) -> float:
+        """One-way wide-area delay between two hosts.
+
+        With ``sample_jitter`` a random per-packet jitter component is
+        added, drawn from a gamma distribution (always positive, long
+        tail) scaled by the latency model's jitter fraction.
+        """
+        base = self.latency_model.one_way_delay_s(a.location, b.location)
+        if not sample_jitter:
+            return base
+        scale = self.latency_model.jitter_scale_s(a.location, b.location)
+        if scale <= 0:
+            return base
+        jitter = float(self.rng.gamma(shape=2.0, scale=scale / 2.0))
+        return base + jitter
+
+    def nominal_rtt(self, a: Host, b: Host) -> float:
+        """Jitter-free round-trip time between two hosts."""
+        return 2.0 * self.one_way_delay(a, b, sample_jitter=False)

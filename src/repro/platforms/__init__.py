@@ -1,0 +1,69 @@
+"""Videoconferencing platform models: Zoom, Webex and Google Meet.
+
+The paper measures the three services as black boxes; every behaviour
+it reports is externally observable.  These models reproduce exactly
+those observables (and nothing speculative):
+
+* **endpoint architecture** (Fig. 3): Zoom and Webex relay a session
+  through a single platform endpoint; Meet connects each client to its
+  own geographically-nearby endpoint and relays between endpoints;
+  Zoom switches to direct peer-to-peer streaming for two-party calls,
+* **designated ports**: UDP/8801 (Zoom), UDP/9000 (Webex), UDP/19305
+  (Meet),
+* **endpoint churn** (Section 4.2): fresh endpoints nearly every
+  session on Zoom/Webex (20 and 19.5 distinct per 20 sessions) versus
+  sticky endpoints on Meet (1.8),
+* **geographic footprint** (Findings 1-2): US-only infrastructure
+  with regional load balancing for Zoom, US-east-only for Webex,
+  cross-continental for Meet,
+* **rate control** (Figs. 15, 17-19, Table 4): per-platform target
+  rates versus session size, motion, device class and view mode, and
+  per-platform adaptation policies under bandwidth caps.
+"""
+
+from .base import (
+    ClientBinding,
+    PlatformModel,
+    ServiceRelay,
+    SessionWiring,
+    StreamLayer,
+)
+from .meet import MeetModel
+from .ratecontrol import AdaptationPolicy, RateContext, SenderRateState
+from .webex import WebexModel
+from .zoom import ZoomModel
+
+#: Registry of platform model factories by canonical name.
+PLATFORMS = {
+    "zoom": ZoomModel,
+    "webex": WebexModel,
+    "meet": MeetModel,
+}
+
+
+def make_platform(name: str, **kwargs) -> PlatformModel:
+    """Instantiate a platform model by name (``zoom``/``webex``/``meet``)."""
+    try:
+        factory = PLATFORMS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; choose from {sorted(PLATFORMS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "AdaptationPolicy",
+    "ClientBinding",
+    "MeetModel",
+    "PLATFORMS",
+    "PlatformModel",
+    "RateContext",
+    "SenderRateState",
+    "ServiceRelay",
+    "SessionWiring",
+    "StreamLayer",
+    "WebexModel",
+    "ZoomModel",
+    "make_platform",
+]

@@ -1,0 +1,38 @@
+"""Full-reference QoE metrics: the reproduction's VQMT and ViSQOL.
+
+The paper scores recorded sessions against the injected media with the
+VQMT tool (PSNR, SSIM, VIFp -- Section 4.3) and ViSQOL (MOS-LQO,
+Section 4.4).  This package implements all four metrics from their
+published definitions, on numpy luma frames and mono waveforms:
+
+* :func:`repro.qoe.psnr.psnr` — Peak Signal-to-Noise Ratio,
+* :func:`repro.qoe.ssim.ssim` — Structural Similarity (Wang et al. 2004),
+* :func:`repro.qoe.vifp.vifp` — pixel-domain Visual Information
+  Fidelity (Sheikh & Bovik 2006),
+* :func:`repro.qoe.visqol.mos_lqo` — spectro-temporal NSIM similarity
+  mapped to a 1-5 MOS-LQO score,
+* :mod:`repro.qoe.mos` — metric-to-MOS bands used to interpret QoE
+  deltas ("significant enough to downgrade MOS ratings by one level"),
+* :class:`repro.qoe.vqmt.VideoQualityReport` — frame-by-frame scoring
+  facade mirroring how the paper runs VQMT.
+"""
+
+from .mos import MOS_LEVELS, mos_from_psnr, mos_from_ssim
+from .psnr import psnr
+from .ssim import ssim
+from .vifp import vifp
+from .visqol import mos_lqo, nsim_similarity
+from .vqmt import VideoQualityReport, score_video
+
+__all__ = [
+    "MOS_LEVELS",
+    "VideoQualityReport",
+    "mos_from_psnr",
+    "mos_from_ssim",
+    "mos_lqo",
+    "nsim_similarity",
+    "psnr",
+    "score_video",
+    "ssim",
+    "vifp",
+]

@@ -1,0 +1,48 @@
+"""Mean-Opinion-Score interpretation bands.
+
+Section 4.3 argues that the measured QoE drop between low- and
+high-motion sessions "is significant enough to downgrade mean opinion
+score (MOS) ratings by one level", citing the PSNR/SSIM-to-MOS
+thresholds of Moldovan & Muntean (2017).  This module provides those
+bands so analyses can express metric deltas in MOS levels.
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+
+#: MOS levels, 5 = excellent ... 1 = bad.
+MOS_LEVELS = {5: "excellent", 4: "good", 3: "fair", 2: "poor", 1: "bad"}
+
+#: PSNR (dB) lower bounds per MOS level (standard banding).
+_PSNR_BANDS = ((37.0, 5), (31.0, 4), (25.0, 3), (20.0, 2))
+
+#: SSIM lower bounds per MOS level.
+_SSIM_BANDS = ((0.99, 5), (0.95, 4), (0.88, 3), (0.5, 2))
+
+
+def mos_from_psnr(psnr_db: float) -> int:
+    """Map a PSNR value to a MOS level (1-5)."""
+    if psnr_db != psnr_db:  # NaN guard
+        raise AnalysisError("PSNR is NaN")
+    for threshold, level in _PSNR_BANDS:
+        if psnr_db >= threshold:
+            return level
+    return 1
+
+
+def mos_from_ssim(ssim_value: float) -> int:
+    """Map an SSIM value to a MOS level (1-5)."""
+    if ssim_value != ssim_value:
+        raise AnalysisError("SSIM is NaN")
+    for threshold, level in _SSIM_BANDS:
+        if ssim_value >= threshold:
+            return level
+    return 1
+
+
+def mos_downgrade(reference_mos: int, degraded_mos: int) -> int:
+    """Number of MOS levels lost (>= 0)."""
+    if not 1 <= reference_mos <= 5 or not 1 <= degraded_mos <= 5:
+        raise AnalysisError("MOS levels must be in 1..5")
+    return max(0, reference_mos - degraded_mos)

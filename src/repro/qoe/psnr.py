@@ -1,0 +1,45 @@
+"""Peak Signal-to-Noise Ratio.
+
+The most basic of the three video metrics the paper reports.  Defined
+as ``10 * log10(MAX^2 / MSE)`` with ``MAX = 255`` for 8-bit luma.
+Identical frames have infinite PSNR; we cap at a configurable ceiling
+(VQMT caps similarly) so averages over frames stay finite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+#: Cap applied to the PSNR of (nearly) identical frames.
+PSNR_CAP_DB = 60.0
+
+#: Peak value of 8-bit luma.
+PEAK = 255.0
+
+
+def psnr(reference: np.ndarray, distorted: np.ndarray, cap_db: float = PSNR_CAP_DB) -> float:
+    """PSNR of ``distorted`` against ``reference`` in decibels.
+
+    Args:
+        reference: Ground-truth luma frame.
+        distorted: Received/recorded luma frame, same shape.
+        cap_db: Value returned for (near-)identical frames.
+
+    Raises:
+        AnalysisError: On shape mismatch or empty frames.
+    """
+    if reference.shape != distorted.shape:
+        raise AnalysisError(
+            f"shape mismatch: {reference.shape} vs {distorted.shape}"
+        )
+    if reference.size == 0:
+        raise AnalysisError("cannot compute PSNR of empty frames")
+    ref = reference.astype(np.float64)
+    dis = distorted.astype(np.float64)
+    mse = float(np.mean((ref - dis) ** 2))
+    if mse <= 0.0:
+        return cap_db
+    value = 10.0 * np.log10(PEAK * PEAK / mse)
+    return float(min(value, cap_db))

@@ -1,0 +1,58 @@
+"""Structural Similarity Index (Wang, Bovik, Sheikh & Simoncelli 2004).
+
+The standard single-scale SSIM with an 11x11 Gaussian window
+(sigma = 1.5) and the usual stabilising constants, as computed by VQMT.
+Returns the mean SSIM map value in [-1, 1] (typically [0, 1] for
+video content).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from ..errors import AnalysisError
+
+#: Stabilising constants from the SSIM paper for 8-bit dynamic range.
+_K1, _K2 = 0.01, 0.03
+_L = 255.0
+C1 = (_K1 * _L) ** 2
+C2 = (_K2 * _L) ** 2
+
+#: Gaussian window parameter used by the reference implementation.
+WINDOW_SIGMA = 1.5
+
+
+def _local_mean(plane: np.ndarray) -> np.ndarray:
+    return ndimage.gaussian_filter(plane, sigma=WINDOW_SIGMA, mode="reflect")
+
+
+def ssim_map(reference: np.ndarray, distorted: np.ndarray) -> np.ndarray:
+    """The per-pixel SSIM index map."""
+    if reference.shape != distorted.shape:
+        raise AnalysisError(
+            f"shape mismatch: {reference.shape} vs {distorted.shape}"
+        )
+    if reference.ndim != 2 or min(reference.shape) < 8:
+        raise AnalysisError("SSIM needs 2-D frames of at least 8x8")
+    x = reference.astype(np.float64)
+    y = distorted.astype(np.float64)
+
+    mu_x = _local_mean(x)
+    mu_y = _local_mean(y)
+    mu_xx = mu_x * mu_x
+    mu_yy = mu_y * mu_y
+    mu_xy = mu_x * mu_y
+
+    sigma_xx = _local_mean(x * x) - mu_xx
+    sigma_yy = _local_mean(y * y) - mu_yy
+    sigma_xy = _local_mean(x * y) - mu_xy
+
+    numerator = (2.0 * mu_xy + C1) * (2.0 * sigma_xy + C2)
+    denominator = (mu_xx + mu_yy + C1) * (sigma_xx + sigma_yy + C2)
+    return numerator / denominator
+
+
+def ssim(reference: np.ndarray, distorted: np.ndarray) -> float:
+    """Mean SSIM between two luma frames."""
+    return float(np.mean(ssim_map(reference, distorted)))

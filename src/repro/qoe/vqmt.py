@@ -1,0 +1,108 @@
+"""VQMT facade: frame-by-frame full-reference video scoring.
+
+"The VQMT tool computes a range of well-known objective QoE metrics
+... Each of these metrics produces frame-by-frame similarity between
+injected/recorded videos.  We take an average over all frames as a QoE
+value." (Section 4.3.)  :func:`score_video` does exactly that, over
+aligned frame sequences, returning a :class:`VideoQualityReport` with
+per-frame series and their averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .psnr import psnr
+from .ssim import ssim
+from .vifp import vifp
+
+
+@dataclass
+class VideoQualityReport:
+    """Per-frame and mean quality of a recorded stream.
+
+    Attributes:
+        psnr_series / ssim_series / vifp_series: Per-frame values.
+    """
+
+    psnr_series: List[float] = field(default_factory=list)
+    ssim_series: List[float] = field(default_factory=list)
+    vifp_series: List[float] = field(default_factory=list)
+
+    @property
+    def frame_count(self) -> int:
+        """Number of scored frames."""
+        return len(self.psnr_series)
+
+    @property
+    def mean_psnr(self) -> float:
+        """Average PSNR over all frames (the paper's QoE value)."""
+        self._require_frames()
+        return float(np.mean(self.psnr_series))
+
+    @property
+    def mean_ssim(self) -> float:
+        """Average SSIM over all frames."""
+        self._require_frames()
+        return float(np.mean(self.ssim_series))
+
+    @property
+    def mean_vifp(self) -> float:
+        """Average VIFp over all frames.
+
+        Raises :class:`~repro.errors.AnalysisError` when the report
+        was produced with ``compute_vifp=False``.
+        """
+        if not self.vifp_series:
+            raise AnalysisError("VIFp was not computed for this report")
+        return float(np.mean(self.vifp_series))
+
+    def _require_frames(self) -> None:
+        if not self.psnr_series:
+            raise AnalysisError("report holds no scored frames")
+
+    def as_dict(self) -> dict:
+        """Means as a plain dict, handy for tables."""
+        return {
+            "psnr": self.mean_psnr,
+            "ssim": self.mean_ssim,
+            "vifp": self.mean_vifp,
+            "frames": self.frame_count,
+        }
+
+
+def score_video(
+    reference: Sequence[np.ndarray],
+    recorded: Sequence[np.ndarray],
+    compute_vifp: bool = True,
+) -> VideoQualityReport:
+    """Score a recording against its reference, frame by frame.
+
+    Sequences must already be aligned (see
+    :func:`repro.media.sync.align_recordings`) and equal length.
+
+    Args:
+        compute_vifp: VIFp is the most expensive metric; disable it
+            for quick checks (the series is left empty).
+
+    Raises:
+        AnalysisError: On empty or length-mismatched inputs.
+    """
+    if len(reference) == 0:
+        raise AnalysisError("no frames to score")
+    if len(reference) != len(recorded):
+        raise AnalysisError(
+            f"length mismatch: {len(reference)} reference vs "
+            f"{len(recorded)} recorded frames"
+        )
+    report = VideoQualityReport()
+    for ref_frame, rec_frame in zip(reference, recorded):
+        report.psnr_series.append(psnr(ref_frame, rec_frame))
+        report.ssim_series.append(ssim(ref_frame, rec_frame))
+        if compute_vifp:
+            report.vifp_series.append(vifp(ref_frame, rec_frame))
+    return report

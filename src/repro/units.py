@@ -1,0 +1,123 @@
+"""Unit helpers used throughout the library.
+
+The simulator's canonical units are **seconds** for time, **bits per
+second** for rates and **bytes** for sizes.  These helpers exist so that
+experiment code can be written in the units the paper uses (milliseconds,
+Kbps/Mbps, MB/GB) without sprinkling magic constants around.
+
+>>> mbps(1.5)
+1500000.0
+>>> ms(20)
+0.02
+>>> to_ms(0.02)
+20.0
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigurationError
+
+#: Number of bits in one byte, used when converting packet sizes to rates.
+BITS_PER_BYTE = 8
+
+#: Speed of light in an optical fibre, metres per second.  The standard
+#: figure of ~2/3 of c in vacuum; used by the geographic latency model.
+FIBER_LIGHT_SPEED_M_PER_S = 2.0e8
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits/second to bits/second."""
+    return float(value) * 1e3
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bits/second."""
+    return float(value) * 1e6
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bits/second."""
+    return float(value) * 1e9
+
+
+def to_kbps(bits_per_second: float) -> float:
+    """Convert bits/second to kilobits/second."""
+    return float(bits_per_second) / 1e3
+
+
+def to_mbps(bits_per_second: float) -> float:
+    """Convert bits/second to megabits/second."""
+    return float(bits_per_second) / 1e6
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) / 1e3
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) / 1e6
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return float(value) * 60.0
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return float(value) * 3600.0
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return float(seconds) * 1e3
+
+
+def kib(value: float) -> int:
+    """Convert KiB to bytes."""
+    return int(float(value) * 1024)
+
+
+def mib(value: float) -> int:
+    """Convert MiB to bytes."""
+    return int(float(value) * 1024 * 1024)
+
+
+def mb(value: float) -> int:
+    """Convert decimal megabytes to bytes (as used for data caps)."""
+    return int(float(value) * 1e6)
+
+
+def gb(value: float) -> int:
+    """Convert decimal gigabytes to bytes."""
+    return int(float(value) * 1e9)
+
+
+def to_mb(num_bytes: float) -> float:
+    """Convert bytes to decimal megabytes."""
+    return float(num_bytes) / 1e6
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return float(num_bytes) * BITS_PER_BYTE
+
+
+def transmission_delay(num_bytes: int, rate_bps: float) -> float:
+    """Time in seconds to serialise ``num_bytes`` onto a ``rate_bps`` link.
+
+    Raises :class:`~repro.errors.ConfigurationError` for non-positive
+    rates, since an unpowered link cannot transmit.
+    """
+    if rate_bps <= 0:
+        raise ConfigurationError(f"link rate must be positive, got {rate_bps}")
+    return bytes_to_bits(num_bytes) / float(rate_bps)
+
+
+def rate_from_bytes(num_bytes: float, duration_s: float) -> float:
+    """Average rate in bits/second of ``num_bytes`` over ``duration_s``."""
+    if duration_s <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration_s}")
+    return bytes_to_bits(num_bytes) / float(duration_s)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.testbed import Testbed, TestbedConfig
+from repro.media.frames import FrameSpec
+from repro.net.regions import default_registry
+from repro.net.routing import Network
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_spec():
+    """A tiny frame spec that keeps codec tests fast."""
+    return FrameSpec(width=64, height=48, fps=10)
+
+
+@pytest.fixture
+def medium_spec():
+    """The spec used by scaled experiment runs."""
+    return FrameSpec(width=160, height=120, fps=15)
+
+
+@pytest.fixture
+def registry():
+    """The default Table 3 region registry."""
+    return default_registry()
+
+
+@pytest.fixture
+def network():
+    """A fresh empty network."""
+    return Network()
+
+
+@pytest.fixture
+def us_pair(network, registry):
+    """Two hosts on opposite US coasts."""
+    east = network.add_host("east", registry.get("US-East").location)
+    west = network.add_host("west", registry.get("US-West").location)
+    return east, west
+
+
+@pytest.fixture
+def testbed():
+    """A fresh testbed with a fixed seed."""
+    return Testbed(TestbedConfig(seed=123))

@@ -1,0 +1,103 @@
+"""Addressing: transport addresses, endpoint keys, allocators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.address import (
+    Address,
+    EndpointKey,
+    EphemeralPortAllocator,
+    IpAllocator,
+    MEET_UDP_PORT,
+    WEBEX_UDP_PORT,
+    ZOOM_UDP_PORT,
+)
+
+
+class TestDesignatedPorts:
+    def test_paper_port_numbers(self):
+        # Section 4.2: UDP/8801 Zoom, UDP/9000 Webex, UDP/19305 Meet.
+        assert ZOOM_UDP_PORT == 8801
+        assert WEBEX_UDP_PORT == 9000
+        assert MEET_UDP_PORT == 19305
+
+
+class TestAddress:
+    def test_str(self):
+        assert str(Address("10.0.0.1", 8801)) == "10.0.0.1:8801"
+
+    def test_port_range_low(self):
+        with pytest.raises(ConfigurationError):
+            Address("10.0.0.1", 0)
+
+    def test_port_range_high(self):
+        with pytest.raises(ConfigurationError):
+            Address("10.0.0.1", 65536)
+
+    def test_empty_ip_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Address("", 80)
+
+    def test_with_port(self):
+        a = Address("10.0.0.1", 80)
+        assert a.with_port(443) == Address("10.0.0.1", 443)
+
+    def test_ordering_and_hash(self):
+        a = Address("10.0.0.1", 80)
+        b = Address("10.0.0.1", 81)
+        assert a < b
+        assert len({a, b, Address("10.0.0.1", 80)}) == 2
+
+
+class TestEndpointKey:
+    def test_of_address(self):
+        key = EndpointKey.of(Address("1.2.3.4", 8801))
+        assert key == EndpointKey("1.2.3.4", 8801, "udp")
+
+    def test_address_roundtrip(self):
+        key = EndpointKey("1.2.3.4", 9000)
+        assert key.address == Address("1.2.3.4", 9000)
+
+    def test_str(self):
+        assert str(EndpointKey("1.2.3.4", 19305)) == "udp://1.2.3.4:19305"
+
+    def test_hashable_distinct_by_port(self):
+        keys = {EndpointKey("1.2.3.4", 80), EndpointKey("1.2.3.4", 81)}
+        assert len(keys) == 2
+
+
+class TestIpAllocator:
+    def test_unique_across_calls(self):
+        allocator = IpAllocator()
+        ips = {allocator.allocate() for _ in range(500)}
+        assert len(ips) == 500
+
+    def test_tier_prefixes(self):
+        allocator = IpAllocator()
+        assert allocator.allocate("client").startswith("10.0.")
+        assert allocator.allocate("infra").startswith("172.16.")
+        assert allocator.allocate("mobile").startswith("192.168.")
+
+    def test_unknown_tier(self):
+        with pytest.raises(ConfigurationError):
+            IpAllocator().allocate("underwater")
+
+
+class TestEphemeralPorts:
+    def test_sequential(self):
+        allocator = EphemeralPortAllocator()
+        first = allocator.allocate()
+        assert allocator.allocate() == first + 1
+
+    def test_range_start(self):
+        assert EphemeralPortAllocator().allocate() >= 49152
+
+    def test_bad_base(self):
+        with pytest.raises(ConfigurationError):
+            EphemeralPortAllocator(base=1000)
+
+    def test_exhaustion(self):
+        allocator = EphemeralPortAllocator(base=65535)
+        allocator.allocate()
+        with pytest.raises(ConfigurationError):
+            allocator.allocate()

@@ -1,0 +1,120 @@
+"""CDFs, stats, tables and ASCII figures."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import Cdf, cdf_table
+from repro.analysis.figures import ascii_bar_chart, ascii_cdf
+from repro.analysis.stats import describe, percentile, relative_change
+from repro.analysis.tables import TextTable, format_ms, format_rate_mbps
+from repro.errors import AnalysisError
+
+
+class TestCdf:
+    def test_from_samples_sorted(self):
+        cdf = Cdf.from_samples([3, 1, 2])
+        assert list(cdf.values) == [1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            Cdf.from_samples([])
+
+    def test_evaluate(self):
+        cdf = Cdf.from_samples([1, 2, 3, 4])
+        assert cdf.evaluate(2) == pytest.approx(0.5)
+        assert cdf.evaluate(0) == 0.0
+        assert cdf.evaluate(10) == 1.0
+
+    def test_median(self):
+        assert Cdf.from_samples([1, 2, 3]).median == 2
+
+    def test_quantile_bounds(self):
+        cdf = Cdf.from_samples([1, 2])
+        with pytest.raises(AnalysisError):
+            cdf.quantile(1.5)
+
+    def test_points_monotonic(self):
+        cdf = Cdf.from_samples(np.random.default_rng(0).normal(size=500))
+        points = cdf.points(max_points=50)
+        assert len(points) == 50
+        ys = [y for _, y in points]
+        assert ys == sorted(ys)
+
+    def test_cdf_table(self):
+        table = cdf_table({"a": [1, 2, 3], "b": [10, 20, 30]})
+        assert table["a"][0.5] == 2
+        assert table["b"][0.5] == 20
+
+
+class TestStats:
+    def test_describe_keys(self):
+        stats = describe([1.0, 2.0, 3.0])
+        assert stats["mean"] == 2.0
+        assert stats["count"] == 3
+
+    def test_describe_empty(self):
+        with pytest.raises(AnalysisError):
+            describe([])
+
+    def test_percentile(self):
+        assert percentile(range(101), 90) == pytest.approx(90.0)
+
+    def test_percentile_bounds(self):
+        with pytest.raises(AnalysisError):
+            percentile([1], 150)
+
+    def test_relative_change(self):
+        assert relative_change(2.0, 3.0) == pytest.approx(0.5)
+
+    def test_relative_change_zero_base(self):
+        with pytest.raises(AnalysisError):
+            relative_change(0.0, 1.0)
+
+
+class TestTables:
+    def test_render_alignment(self):
+        table = TextTable(["name", "value"])
+        table.add_row(["x", 1])
+        table.add_row(["longer", 22])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_row_width_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(AnalysisError):
+            table.add_row(["only-one"])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(AnalysisError):
+            TextTable([])
+
+    def test_format_rate(self):
+        assert format_rate_mbps(2_500_000) == "2.50"
+
+    def test_format_ms(self):
+        assert format_ms(0.0425) == "42.5"
+
+
+class TestAsciiFigures:
+    def test_cdf_render(self):
+        text = ascii_cdf({"US-East": [10, 20, 30], "US-West": [40, 50, 60]})
+        assert "US-East" in text
+        assert "*" in text
+
+    def test_cdf_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_cdf({})
+
+    def test_bar_chart_render(self):
+        text = ascii_bar_chart({"zoom": 0.7, "webex": 1.8, "meet": 0.5})
+        lines = text.splitlines()
+        assert len(lines) == 3
+        webex_line = next(l for l in lines if l.startswith("webex"))
+        zoom_line = next(l for l in lines if l.startswith("zoom"))
+        assert webex_line.count("#") > zoom_line.count("#")
+
+    def test_bar_chart_zero_values(self):
+        text = ascii_bar_chart({"a": 0.0})
+        assert "0.00" in text

@@ -1,0 +1,176 @@
+"""Audio sources and the subband audio codec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError, ConfigurationError
+from repro.media.audio import (
+    SilenceSource,
+    SpeechLikeSource,
+    ToneSource,
+)
+from repro.media.audio_codec import (
+    AudioCodec,
+    AudioCodecConfig,
+    AudioDecoder,
+    FRAME_DURATION_S,
+)
+
+
+class TestSources:
+    def test_silence_is_zero(self):
+        assert not SilenceSource().samples(0, 100).any()
+
+    def test_tone_amplitude(self):
+        tone = ToneSource(frequency_hz=440, amplitude=0.5)
+        samples = tone.samples(0, 16_000)
+        assert np.max(np.abs(samples)) == pytest.approx(0.5, abs=0.01)
+
+    def test_tone_frequency_band_check(self):
+        with pytest.raises(ConfigurationError):
+            ToneSource(frequency_hz=9000, sample_rate=16_000)
+
+    def test_speech_in_range(self):
+        speech = SpeechLikeSource()
+        samples = speech.samples(0, 16_000)
+        assert np.max(np.abs(samples)) <= 1.0
+        assert np.std(samples) > 0.01
+
+    def test_speech_deterministic(self):
+        a = SpeechLikeSource(seed=3).samples(100, 500)
+        b = SpeechLikeSource(seed=3).samples(100, 500)
+        assert np.array_equal(a, b)
+
+    def test_speech_window_addressing_consistent(self):
+        speech = SpeechLikeSource()
+        long = speech.samples(0, 1000)
+        tail = speech.samples(500, 500)
+        assert np.allclose(long[500:], tail)
+
+    def test_speech_has_pauses(self):
+        speech = SpeechLikeSource(phrase_duration_s=1.0, pause_duration_s=0.3)
+        samples = speech.read_duration(0.75, 0.2)  # inside the pause
+        assert np.max(np.abs(samples)) < 0.05
+
+    def test_low_sample_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpeechLikeSource(sample_rate=4000)
+
+    def test_read_duration(self):
+        source = ToneSource()
+        assert len(source.read_duration(0.0, 0.5)) == 8000
+
+
+class TestAudioCodecConfig:
+    def test_frame_samples_20ms(self):
+        config = AudioCodecConfig(sample_rate=16_000)
+        assert config.frame_samples == 320
+
+    def test_frame_budget(self):
+        config = AudioCodecConfig(bitrate_bps=45_000)
+        assert config.frame_budget_bits == pytest.approx(900)
+
+    def test_bad_bitrate(self):
+        with pytest.raises(ConfigurationError):
+            AudioCodecConfig(bitrate_bps=0)
+
+    def test_bad_concealment(self):
+        with pytest.raises(ConfigurationError):
+            AudioCodecConfig(concealment="prayers")
+
+
+class TestEncodeDecode:
+    def test_frame_shape_enforced(self):
+        codec = AudioCodec()
+        with pytest.raises(CodecError):
+            codec.encode_frame(np.zeros(100))
+
+    def test_buffer_must_be_multiple(self):
+        codec = AudioCodec()
+        with pytest.raises(CodecError):
+            codec.encode(np.zeros(codec.config.frame_samples + 1))
+
+    def test_rate_near_budget(self):
+        codec = AudioCodec(AudioCodecConfig(bitrate_bps=45_000))
+        speech = SpeechLikeSource().read_duration(0, 1.0)
+        frames = codec.encode(speech)
+        realized = np.mean([f.size_bytes for f in frames]) * 8 / FRAME_DURATION_S
+        assert 0.6 * 45_000 < realized < 1.4 * 45_000
+
+    def test_roundtrip_snr(self):
+        codec = AudioCodec(AudioCodecConfig(bitrate_bps=45_000))
+        speech = SpeechLikeSource().read_duration(0, 0.5)
+        decoder = AudioDecoder(codec)
+        for frame in codec.encode(speech):
+            decoder.push(frame)
+        out = decoder.waveform()
+        error = np.mean((out - speech) ** 2)
+        signal = np.mean(speech**2)
+        snr_db = 10 * np.log10(signal / max(error, 1e-12))
+        assert snr_db > 15
+
+    def test_higher_bitrate_less_distortion(self):
+        speech = SpeechLikeSource().read_duration(0, 0.5)
+
+        def error_at(rate):
+            codec = AudioCodec(AudioCodecConfig(bitrate_bps=rate))
+            decoder = AudioDecoder(codec)
+            for frame in codec.encode(speech):
+                decoder.push(frame)
+            return float(np.mean((decoder.waveform() - speech) ** 2))
+
+        assert error_at(64_000) < error_at(8_000)
+
+    def test_frame_indices_monotonic(self):
+        codec = AudioCodec()
+        speech = SpeechLikeSource().read_duration(0, 0.2)
+        frames = codec.encode(speech)
+        assert [f.index for f in frames] == list(range(len(frames)))
+
+
+class TestConcealment:
+    def _lossy_waveform(self, concealment, drop_indices):
+        codec = AudioCodec(
+            AudioCodecConfig(bitrate_bps=45_000, concealment=concealment)
+        )
+        speech = SpeechLikeSource().read_duration(0, 0.5)
+        frames = codec.encode(speech)
+        decoder = AudioDecoder(codec)
+        for frame in frames:
+            if frame.index not in drop_indices:
+                decoder.push(frame)
+        return decoder.waveform(len(frames)), decoder
+
+    def test_silence_fills_zeros(self):
+        out, decoder = self._lossy_waveform("silence", {5})
+        frame_samples = AudioCodecConfig().frame_samples
+        segment = out[5 * frame_samples : 6 * frame_samples]
+        assert not segment.any()
+        assert decoder.frames_concealed == 1
+
+    def test_repeat_fills_decaying_copy(self):
+        out, _ = self._lossy_waveform("repeat", {5})
+        frame_samples = AudioCodecConfig().frame_samples
+        lost = out[5 * frame_samples : 6 * frame_samples]
+        previous = out[4 * frame_samples : 5 * frame_samples]
+        assert np.allclose(lost, previous * 0.5)
+
+    def test_repeat_decays_over_consecutive_losses(self):
+        out, _ = self._lossy_waveform("repeat", {5, 6, 7})
+        frame_samples = AudioCodecConfig().frame_samples
+        e5 = np.abs(out[5 * frame_samples : 6 * frame_samples]).max()
+        e7 = np.abs(out[7 * frame_samples : 8 * frame_samples]).max()
+        assert e7 < e5
+
+    def test_total_frames_extends_with_silence(self):
+        codec = AudioCodec()
+        decoder = AudioDecoder(codec)
+        speech = SpeechLikeSource().read_duration(0, 0.1)
+        for frame in codec.encode(speech):
+            decoder.push(frame)
+        out = decoder.waveform(total_frames=10)
+        assert len(out) == 10 * codec.config.frame_samples
+
+    def test_empty_waveform(self):
+        decoder = AudioDecoder(AudioCodec())
+        assert len(decoder.waveform()) == 0

@@ -1,0 +1,161 @@
+"""Packet capture (the tcpdump model)."""
+
+import pytest
+
+from repro.errors import CaptureError
+from repro.net.address import Address, EndpointKey
+from repro.net.capture import Capture, CapturedPacket, Direction
+from repro.net.packet import Packet, PacketKind
+
+
+def record(capture, t, direction, payload=1000, kind=PacketKind.MEDIA_VIDEO,
+           src=("10.0.0.1", 1000), dst=("172.16.0.1", 8801), flow="f1"):
+    packet = Packet(
+        src=Address(*src), dst=Address(*dst), payload_bytes=payload,
+        kind=kind, flow_id=flow,
+    )
+    capture.record(packet, direction, t)
+    return packet
+
+
+class TestRecording:
+    def test_records_when_running(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.OUT)
+        assert len(capture) == 1
+
+    def test_stop_freezes(self):
+        capture = Capture("host")
+        capture.stop()
+        record(capture, 1.0, Direction.OUT)
+        assert len(capture) == 0
+
+    def test_iteration(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.OUT)
+        assert all(isinstance(r, CapturedPacket) for r in capture)
+
+    def test_span(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.OUT)
+        record(capture, 3.0, Direction.OUT)
+        assert capture.span() == (1.0, 3.0)
+
+    def test_span_empty_raises(self):
+        with pytest.raises(CaptureError):
+            Capture("host").span()
+
+
+class TestFilters:
+    def test_by_direction(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.OUT)
+        record(capture, 2.0, Direction.IN)
+        assert len(capture.filter(direction=Direction.IN)) == 1
+
+    def test_by_kind(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.OUT, kind=PacketKind.MEDIA_AUDIO)
+        record(capture, 2.0, Direction.OUT, kind=PacketKind.PROBE)
+        assert len(capture.filter(kind=PacketKind.PROBE)) == 1
+
+    def test_by_kinds(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.OUT, kind=PacketKind.MEDIA_AUDIO)
+        record(capture, 2.0, Direction.OUT, kind=PacketKind.MEDIA_VIDEO)
+        record(capture, 3.0, Direction.OUT, kind=PacketKind.PROBE)
+        media = capture.filter(
+            kinds=(PacketKind.MEDIA_AUDIO, PacketKind.MEDIA_VIDEO)
+        )
+        assert len(media) == 2
+
+    def test_kind_and_kinds_conflict(self):
+        capture = Capture("host")
+        with pytest.raises(CaptureError):
+            capture.filter(kind=PacketKind.PROBE, kinds=(PacketKind.PROBE,))
+
+    def test_by_flow(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.OUT, flow="a")
+        record(capture, 2.0, Direction.OUT, flow="b")
+        assert len(capture.filter(flow_id="a")) == 1
+
+    def test_by_remote_port(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.OUT, dst=("172.16.0.1", 8801))
+        record(capture, 2.0, Direction.OUT, dst=("172.16.0.2", 9000))
+        assert len(capture.filter(remote_port=9000)) == 1
+
+    def test_predicate(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.OUT, payload=100)
+        record(capture, 2.0, Direction.OUT, payload=1500)
+        big = capture.filter(predicate=lambda r: r.payload_bytes > 200)
+        assert len(big) == 1
+
+
+class TestSeriesAndRates:
+    def test_time_size_series(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.IN, payload=700)
+        series = capture.time_size_series(Direction.IN)
+        assert series == [(1.0, 700)]
+
+    def test_payload_rate(self):
+        capture = Capture("host")
+        record(capture, 0.0, Direction.IN, payload=125_000)
+        record(capture, 1.0, Direction.IN, payload=125_000)
+        # 250 KB over 1 s window = 2 Mbps.
+        assert capture.payload_rate_bps(Direction.IN) == pytest.approx(2e6)
+
+    def test_payload_rate_with_window(self):
+        capture = Capture("host")
+        record(capture, 0.0, Direction.IN, payload=1000)
+        record(capture, 5.0, Direction.IN, payload=125_000)
+        record(capture, 6.0, Direction.IN, payload=125_000)
+        rate = capture.payload_rate_bps(Direction.IN, start=5.0, end=6.0)
+        assert rate == pytest.approx(2e6)
+
+    def test_rate_empty_window_raises(self):
+        capture = Capture("host")
+        with pytest.raises(CaptureError):
+            capture.payload_rate_bps(Direction.IN)
+
+    def test_total_payload(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.IN, payload=100)
+        record(capture, 2.0, Direction.IN, payload=200)
+        assert capture.total_payload_bytes(Direction.IN) == 300
+
+
+class TestEndpointDiscovery:
+    def test_remote_endpoint_of_out_packet_is_dst(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.OUT, dst=("172.16.0.9", 8801))
+        endpoint = capture.filter()[0].remote_endpoint
+        assert endpoint == EndpointKey("172.16.0.9", 8801, "udp")
+
+    def test_remote_endpoint_of_in_packet_is_src(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.IN, src=("172.16.0.9", 8801))
+        endpoint = capture.filter()[0].remote_endpoint
+        assert endpoint.ip == "172.16.0.9"
+
+    def test_media_only_excludes_probes(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.OUT, kind=PacketKind.PROBE,
+               dst=("172.16.0.7", 8801))
+        assert capture.remote_endpoints(media_only=True) == set()
+
+    def test_distinct_endpoints_counted_once(self):
+        capture = Capture("host")
+        for t in (1.0, 2.0, 3.0):
+            record(capture, t, Direction.OUT, dst=("172.16.0.9", 8801))
+        assert len(capture.remote_endpoints()) == 1
+
+    def test_port_filter(self):
+        capture = Capture("host")
+        record(capture, 1.0, Direction.OUT, dst=("172.16.0.9", 8801))
+        record(capture, 2.0, Direction.OUT, dst=("172.16.0.8", 9000))
+        endpoints = capture.remote_endpoints(port=9000)
+        assert {e.port for e in endpoints} == {9000}

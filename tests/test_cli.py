@@ -1,0 +1,52 @@
+"""CLI entry points."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_lag_defaults(self):
+        args = build_parser().parse_args(["lag"])
+        assert args.platform == "zoom"
+        assert args.group == "US"
+
+    def test_platform_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lag", "--platform", "skype"])
+
+
+class TestCommands:
+    FAST = ["--sessions", "1", "--duration", "6", "--probes", "3"]
+
+    def test_lag_command(self, capsys):
+        assert main(["lag", "--platform", "webex"] + self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "median-lag band" in out
+        assert "US-West" in out
+
+    def test_endpoints_command(self, capsys):
+        assert main(["endpoints", "--platform", "meet"] + self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "19305" in out
+
+    def test_qoe_command(self, capsys):
+        assert main(
+            ["qoe", "--platform", "zoom", "--motion", "low", "-n", "2",
+             "--no-vifp"] + self.FAST
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PSNR" in out
+        assert "Download" in out
+
+    def test_mobile_command(self, capsys):
+        assert main(
+            ["mobile", "--platform", "zoom", "--scenario", "LM-Off"]
+            + self.FAST
+        ) == 0
+        out = capsys.readouterr().out
+        assert "J3" in out and "S10" in out

@@ -1,0 +1,273 @@
+"""Client stack: dispatch, receiver engine, recorder, controller, mobile."""
+
+import numpy as np
+import pytest
+
+from repro.clients.android import ANDROID_DEVICES, GALAXY_J3, GALAXY_S10
+from repro.clients.controller import WorkflowStep, standard_workflow
+from repro.clients.cpu import CpuModel
+from repro.clients.power import BatteryModel, MonsoonMeter, PowerRailModel
+from repro.clients.receiver import FlowStats
+from repro.clients.recorder import DesktopRecorder
+from repro.clients.wifi import residential_wifi_link
+from repro.core.session import SessionConfig
+from repro.errors import ConfigurationError, SessionError
+from repro.media.frames import FrameSpec
+from repro.units import mbps
+
+
+class TestFlowStats:
+    def test_counts(self):
+        stats = FlowStats()
+        stats.on_packet(0, 100)
+        stats.on_packet(1, 200)
+        assert stats.packets == 2
+        assert stats.bytes == 300
+
+    def test_window_loss_zero_when_contiguous(self):
+        stats = FlowStats()
+        for seq in range(10):
+            stats.on_packet(seq, 100)
+        assert stats.take_window_loss() == 0.0
+
+    def test_window_loss_detects_gaps(self):
+        stats = FlowStats()
+        for seq in (0, 1, 2, 7, 8, 9):
+            stats.on_packet(seq, 100)
+        assert stats.take_window_loss() == pytest.approx(0.4)
+
+    def test_window_resets(self):
+        stats = FlowStats()
+        for seq in (0, 5):
+            stats.on_packet(seq, 100)
+        stats.take_window_loss()
+        for seq in (6, 7, 8):
+            stats.on_packet(seq, 100)
+        assert stats.take_window_loss() == 0.0
+
+    def test_empty_window(self):
+        assert FlowStats().take_window_loss() == 0.0
+
+
+class TestController:
+    def test_standard_workflow_steps(self):
+        names = [s.name for s in standard_workflow()]
+        assert names == ["launch", "login", "join", "configure-layout"]
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SessionError):
+            WorkflowStep("x", -1.0)
+
+    def test_workflow_executes_in_order(self, testbed):
+        client = testbed.add_vm("US-East")
+        done = []
+        steps = [
+            WorkflowStep("a", 1.0, lambda: done.append("a")),
+            WorkflowStep("b", 2.0, lambda: done.append("b")),
+        ]
+        client.controller.run_workflow(steps, on_complete=lambda: done.append("!"))
+        testbed.network.simulator.run()
+        assert done == ["a", "b", "!"]
+        assert [s.name for s in client.controller.timeline] == ["a", "b"]
+
+    def test_timeline_durations(self, testbed):
+        client = testbed.add_vm("US-East")
+        client.controller.run_workflow([WorkflowStep("a", 1.5)])
+        testbed.network.simulator.run()
+        step = client.controller.timeline[0]
+        assert step.finished_at - step.started_at == pytest.approx(1.5)
+
+    def test_busy_controller_rejects(self, testbed):
+        client = testbed.add_vm("US-East")
+        client.controller.run_workflow([WorkflowStep("a", 1.0)])
+        with pytest.raises(SessionError):
+            client.controller.run_workflow([WorkflowStep("b", 1.0)])
+
+    def test_empty_workflow_rejected(self, testbed):
+        client = testbed.add_vm("US-East")
+        with pytest.raises(SessionError):
+            client.controller.run_workflow([])
+
+
+class TestRecorderUnit:
+    def test_rejects_bad_resample(self, testbed):
+        client = testbed.add_vm("US-East")
+        with pytest.raises(SessionError):
+            DesktopRecorder(client, FrameSpec(64, 48, 10), 0.1,
+                            resample_factor=1.5)
+
+    def test_records_black_before_first_decode(self, testbed):
+        client = testbed.add_vm("US-East")
+        from repro.media.video_codec import VideoDecoder
+
+        spec = FrameSpec(64, 48, 10)
+        recorder = DesktopRecorder(client, spec, pad_fraction=0.15)
+        recorder.start(VideoDecoder(spec), duration_s=0.5)
+        testbed.network.simulator.run()
+        assert len(recorder.frames) == 5
+        # Widgets drawn over an otherwise black desktop.
+        assert recorder.frames[0].max() > 0
+
+    def test_stop_ends_recording(self, testbed):
+        client = testbed.add_vm("US-East")
+        from repro.media.video_codec import VideoDecoder
+
+        spec = FrameSpec(64, 48, 10)
+        recorder = DesktopRecorder(client, spec, pad_fraction=0.0)
+        recorder.start(VideoDecoder(spec), duration_s=10.0)
+        testbed.network.simulator.run(until=0.35)
+        recorder.stop()
+        testbed.network.simulator.run()
+        assert len(recorder.frames) <= 5
+
+
+class TestCpuModel:
+    def test_meet_costs_more_than_zoom_highend(self):
+        zoom = CpuModel("zoom", "mobile-highend")
+        meet = CpuModel("meet", "mobile-highend")
+        args = dict(incoming_video_bps=mbps(1), view_mode="fullscreen",
+                    camera_on=False, screen_on=True)
+        assert meet.demand_pct(**args, thumbnail_count=2) > zoom.demand_pct(
+            **args, thumbnail_count=1
+        )
+
+    def test_lowend_saturates(self):
+        model = CpuModel("meet", "mobile-lowend")
+        demand = model.demand_pct(
+            incoming_video_bps=mbps(2.5), view_mode="fullscreen",
+            camera_on=True, screen_on=True, thumbnail_count=4,
+        )
+        assert demand == model.throttle_cap_pct
+
+    def test_camera_cost_by_device(self):
+        for device, extra in (("mobile-highend", 100), ("mobile-lowend", 50)):
+            model = CpuModel("zoom", device)
+            off = model.demand_pct(mbps(0.5), "fullscreen", False, True)
+            on = model.demand_pct(mbps(0.5), "fullscreen", True, True)
+            if device == "mobile-highend":
+                assert on - off == pytest.approx(extra)
+
+    def test_webex_screen_off_stays_high(self):
+        webex = CpuModel("webex", "mobile-highend")
+        zoom = CpuModel("zoom", "mobile-highend")
+        assert webex.demand_pct(0, "fullscreen", False, False) > 100
+        assert zoom.demand_pct(0, "fullscreen", False, False) < 60
+
+    def test_zoom_gallery_cheaper_than_fullscreen(self):
+        model = CpuModel("zoom", "mobile-highend")
+        full = model.demand_pct(mbps(0.85), "fullscreen", False, True)
+        gallery = model.demand_pct(mbps(0.33), "gallery", False, True)
+        assert gallery < 0.7 * full
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CpuModel("facetime", "mobile-highend")
+
+    def test_sample_noise_bounded(self, rng):
+        model = CpuModel("zoom", "mobile-highend", noise_pct=5.0)
+        samples = [
+            model.sample(rng, 0.0, mbps(1), "fullscreen", False, True).usage_pct
+            for _ in range(100)
+        ]
+        demand = model.demand_pct(mbps(1), "fullscreen", False, True)
+        assert abs(np.mean(samples) - demand) < 3.0
+
+
+class TestPowerAndBattery:
+    def test_power_components_additive(self):
+        rails = PowerRailModel()
+        base = rails.power_w(0, False, False, 0)
+        with_screen = rails.power_w(0, True, False, 0)
+        assert with_screen - base == pytest.approx(rails.screen_w)
+
+    def test_cpu_power_scales(self):
+        rails = PowerRailModel()
+        low = rails.power_w(100, True, False, 0)
+        high = rails.power_w(200, True, False, 0)
+        assert high - low == pytest.approx(rails.cpu_w_per_100pct)
+
+    def test_meter_integration(self, rng):
+        meter = MonsoonMeter(rng, noise_w=0.0)
+        # 3.85 W for one hour = 1000 mAh at 3.85 V.
+        for i in range(61):
+            meter.record(i * 60.0, 3.85)
+        assert meter.discharge_mah() == pytest.approx(1000.0, rel=0.01)
+
+    def test_meter_empty(self, rng):
+        assert MonsoonMeter(rng).discharge_mah() == 0.0
+
+    def test_battery_drain_fraction(self):
+        battery = BatteryModel(capacity_mah=2600)
+        assert battery.drain_fraction(1040) == pytest.approx(0.4)
+
+    def test_battery_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatteryModel(capacity_mah=0)
+
+    def test_one_hour_video_call_drains_about_40_percent(self, rng):
+        """Finding-5 calibration: camera-on call ~40%/h on the J3."""
+        rails = PowerRailModel()
+        meter = MonsoonMeter(rng, noise_w=0.0)
+        for i in range(3601):
+            meter.record(
+                float(i),
+                rails.power_w(
+                    cpu_pct=250, screen_on=True, camera_on=True,
+                    traffic_bps=mbps(1),
+                ),
+            )
+        drain = BatteryModel(2600).drain_fraction(meter.discharge_mah())
+        assert 0.28 <= drain <= 0.50
+
+
+class TestAndroidSpecs:
+    def test_table2_j3(self):
+        assert GALAXY_J3.cpu_cores == 4
+        assert GALAXY_J3.memory_gb == 2
+        assert GALAXY_J3.screen_resolution == (720, 1280)
+        assert GALAXY_J3.android_version == 8
+
+    def test_table2_s10(self):
+        assert GALAXY_S10.cpu_cores == 8
+        assert GALAXY_S10.memory_gb == 8
+        assert GALAXY_S10.screen_resolution == (1440, 3040)
+
+    def test_registry(self):
+        assert set(ANDROID_DEVICES) == {"S10", "J3"}
+
+    def test_wifi_link_is_50mbps_symmetric(self):
+        link = residential_wifi_link()
+        assert link.uplink_bps == mbps(50)
+        assert link.downlink_bps == mbps(50)
+
+
+class TestAndroidClient:
+    def test_scenario_labels(self, testbed):
+        from repro.platforms.base import ViewContext
+
+        phone = testbed.add_android(
+            "J3", "zoom",
+            view=ViewContext(view_mode="gallery", device="mobile-lowend"),
+            camera_on=True,
+        )
+        assert phone.scenario_label("low") == "LM-Video-View"
+
+    def test_screen_off_view(self, testbed):
+        phone = testbed.add_android("S10", "zoom", screen_on=False)
+        assert phone.effective_view_mode == "audio-only"
+
+    def test_monitoring_collects_samples(self, testbed):
+        phone = testbed.add_android("J3", "meet")
+        phone.start_monitoring(10.0)
+        testbed.network.simulator.run()
+        assert len(phone.cpu_samples) >= 3
+        assert phone.median_cpu_pct() > 0
+
+    def test_no_samples_raises(self, testbed):
+        phone = testbed.add_android("J3", "meet")
+        with pytest.raises(ConfigurationError):
+            phone.median_cpu_pct()
+
+    def test_unknown_device_rejected(self, testbed):
+        with pytest.raises(ConfigurationError):
+            testbed.add_android("Pixel", "zoom")

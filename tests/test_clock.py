@@ -1,0 +1,47 @@
+"""Host clocks and the cloud time-sync model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.clock import Clock, PERFECT_CLOCK, SyncedClockFactory
+
+
+class TestClock:
+    def test_perfect_clock_identity(self):
+        assert PERFECT_CLOCK.local_time(123.456) == 123.456
+
+    def test_offset_applied(self):
+        clock = Clock(offset_s=0.001)
+        assert clock.local_time(10.0) == pytest.approx(10.001)
+
+    def test_drift_grows_with_time(self):
+        clock = Clock(drift_ppm=10.0)
+        assert clock.error_at(1000.0) == pytest.approx(0.01)
+
+    def test_error_at_zero_is_offset(self):
+        clock = Clock(offset_s=-0.0005, drift_ppm=5.0)
+        assert clock.error_at(0.0) == pytest.approx(-0.0005)
+
+
+class TestSyncedClockFactory:
+    def test_offsets_are_sub_millisecond_typically(self, rng):
+        factory = SyncedClockFactory(rng)
+        offsets = [abs(factory.make_clock().offset_s) for _ in range(200)]
+        # 100 us std -> essentially all below 1 ms.
+        assert float(np.mean(offsets)) < 0.0005
+        assert max(offsets) < 0.001
+
+    def test_clocks_differ(self, rng):
+        factory = SyncedClockFactory(rng)
+        a, b = factory.make_clock(), factory.make_clock()
+        assert a.offset_s != b.offset_s
+
+    def test_deterministic_for_seed(self):
+        a = SyncedClockFactory(np.random.default_rng(7)).make_clock()
+        b = SyncedClockFactory(np.random.default_rng(7)).make_clock()
+        assert a == b
+
+    def test_rejects_negative_std(self, rng):
+        with pytest.raises(ConfigurationError):
+            SyncedClockFactory(rng, offset_std_s=-1e-6)

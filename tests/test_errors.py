@@ -1,0 +1,30 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+
+def test_routing_error_is_simulation_error():
+    assert issubclass(errors.RoutingError, errors.SimulationError)
+
+
+def test_codec_error_is_media_error():
+    assert issubclass(errors.CodecError, errors.MediaError)
+
+
+def test_session_error_is_platform_error():
+    assert issubclass(errors.SessionError, errors.PlatformError)
+
+
+def test_catching_base_catches_subsystem_errors():
+    with pytest.raises(errors.ReproError):
+        raise errors.MeasurementError("no samples")

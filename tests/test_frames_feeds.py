@@ -1,0 +1,143 @@
+"""Frame sources and the paper's three synthetic feeds."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MediaError
+from repro.media.feeds import FlashFeed, HighMotionFeed, LowMotionFeed, StaticFeed
+from repro.media.frames import FrameSpec, smooth_noise_texture, to_uint8
+
+
+class TestFrameSpec:
+    def test_shape(self):
+        assert FrameSpec(640, 480, 30).shape == (480, 640)
+
+    def test_pixels(self):
+        assert FrameSpec(640, 480, 30).pixels == 307_200
+
+    def test_frame_duration(self):
+        assert FrameSpec(64, 48, 10).frame_duration() == pytest.approx(0.1)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrameSpec(8, 8, 30)
+
+    def test_zero_fps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrameSpec(64, 48, 0)
+
+    def test_scaled(self):
+        spec = FrameSpec(640, 480, 30).scaled(0.25)
+        assert spec.width == 160 and spec.height == 120
+        assert spec.fps == 30
+
+    def test_scaled_floors_at_16(self):
+        spec = FrameSpec(64, 48, 30).scaled(0.01)
+        assert spec.width >= 16 and spec.height >= 16
+
+
+class TestHelpers:
+    def test_texture_range(self, rng):
+        texture = smooth_noise_texture(rng, (48, 64), low=40, high=210)
+        assert texture.min() >= 40 - 1e-9
+        assert texture.max() <= 210 + 1e-9
+
+    def test_to_uint8_clips(self):
+        frame = np.array([[-5.0, 300.0]])
+        out = to_uint8(frame)
+        assert out.dtype == np.uint8
+        assert out[0, 0] == 0 and out[0, 1] == 255
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "feed_cls", [StaticFeed, LowMotionFeed, HighMotionFeed, FlashFeed]
+    )
+    def test_same_seed_same_frames(self, feed_cls, small_spec):
+        a = feed_cls(small_spec, seed=5)
+        b = feed_cls(small_spec, seed=5)
+        for index in (0, 7, 31):
+            assert np.array_equal(a.frame(index), b.frame(index))
+
+    @pytest.mark.parametrize("feed_cls", [LowMotionFeed, HighMotionFeed])
+    def test_different_seed_different_frames(self, feed_cls, small_spec):
+        a = feed_cls(small_spec, seed=1)
+        b = feed_cls(small_spec, seed=2)
+        assert not np.array_equal(a.frame(0), b.frame(0))
+
+    def test_frames_are_uint8_with_spec_shape(self, small_spec):
+        for feed_cls in (StaticFeed, LowMotionFeed, HighMotionFeed, FlashFeed):
+            frame = feed_cls(small_spec).frame(3)
+            assert frame.dtype == np.uint8
+            assert frame.shape == small_spec.shape
+
+    def test_frames_batch(self, small_spec):
+        feed = LowMotionFeed(small_spec)
+        frames = feed.frames(5, start=10)
+        assert len(frames) == 5
+        assert np.array_equal(frames[0], feed.frame(10))
+
+    def test_negative_count_rejected(self, small_spec):
+        with pytest.raises(MediaError):
+            LowMotionFeed(small_spec).frames(-1)
+
+
+class TestMotionCharacter:
+    def test_static_feed_has_zero_motion(self, small_spec):
+        assert StaticFeed(small_spec).mean_motion_energy(10) == 0.0
+
+    def test_high_motion_exceeds_low_motion(self, small_spec):
+        low = LowMotionFeed(small_spec).mean_motion_energy(20)
+        high = HighMotionFeed(small_spec).mean_motion_energy(20)
+        assert high > 5 * low
+
+    def test_low_motion_is_nonzero(self, small_spec):
+        assert LowMotionFeed(small_spec).mean_motion_energy(20) > 0
+
+    def test_motion_energy_first_frame_zero(self, small_spec):
+        assert HighMotionFeed(small_spec).motion_energy(0) == 0.0
+
+    def test_scene_cut_spikes_motion(self, small_spec):
+        feed = HighMotionFeed(small_spec, scene_duration_s=1.0)
+        frames_per_scene = small_spec.fps
+        cut = feed.motion_energy(frames_per_scene)
+        within = feed.motion_energy(frames_per_scene // 2)
+        assert cut > within
+
+
+class TestFlashFeed:
+    def test_flash_timing(self, small_spec):
+        feed = FlashFeed(small_spec, period_s=2.0, flash_duration_s=0.2)
+        assert feed.is_flash_frame(0)
+        assert not feed.is_flash_frame(small_spec.fps)  # 1 s in: blank
+
+    def test_blank_frames_are_black(self, small_spec):
+        feed = FlashFeed(small_spec)
+        blank = feed.frame(small_spec.fps)  # 1 s in
+        assert blank.max() == 0
+
+    def test_flash_frames_are_bright(self, small_spec):
+        feed = FlashFeed(small_spec)
+        assert feed.frame(0).mean() > 60
+
+    def test_flash_times(self, small_spec):
+        feed = FlashFeed(small_spec, period_s=2.0)
+        assert feed.flash_times(7.0) == [0.0, 2.0, 4.0, 6.0]
+
+    def test_flash_longer_than_period_rejected(self, small_spec):
+        with pytest.raises(ConfigurationError):
+            FlashFeed(small_spec, period_s=1.0, flash_duration_s=1.5)
+
+
+class TestFeedValidation:
+    def test_low_motion_gesture_timing(self, small_spec):
+        with pytest.raises(ConfigurationError):
+            LowMotionFeed(small_spec, gesture_period_s=0)
+
+    def test_high_motion_scene_duration(self, small_spec):
+        with pytest.raises(ConfigurationError):
+            HighMotionFeed(small_spec, scene_duration_s=-1)
+
+    def test_high_motion_object_count(self, small_spec):
+        with pytest.raises(ConfigurationError):
+            HighMotionFeed(small_spec, num_objects=-1)

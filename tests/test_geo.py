@@ -1,0 +1,113 @@
+"""Geography and the latency model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.geo import GeoPoint, LatencyModel, great_circle_km
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        assert great_circle_km(10, 20, 10, 20) == 0.0
+
+    def test_symmetric(self):
+        a = great_circle_km(40.7, -74.0, 51.5, -0.1)
+        b = great_circle_km(51.5, -0.1, 40.7, -74.0)
+        assert a == pytest.approx(b)
+
+    def test_new_york_to_london(self):
+        # Known geodesic: about 5570 km.
+        distance = great_circle_km(40.71, -74.01, 51.51, -0.13)
+        assert 5500 < distance < 5620
+
+    def test_antipodal_is_half_circumference(self):
+        distance = great_circle_km(0, 0, 0, 180)
+        assert distance == pytest.approx(math.pi * 6371.0, rel=1e-6)
+
+    def test_quarter_circle_along_equator(self):
+        distance = great_circle_km(0, 0, 0, 90)
+        assert distance == pytest.approx(math.pi * 6371.0 / 2, rel=1e-6)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint("x", 45.0, -120.0)
+        assert p.lat == 45.0
+
+    def test_latitude_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GeoPoint("bad", 91.0, 0.0)
+
+    def test_longitude_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GeoPoint("bad", 0.0, 181.0)
+
+    def test_distance_method(self):
+        a = GeoPoint("a", 0, 0)
+        b = GeoPoint("b", 0, 1)
+        assert a.distance_km(b) == pytest.approx(111.19, rel=0.01)
+
+
+class TestLatencyModel:
+    def test_colocated_delay_is_overhead_bounded(self):
+        model = LatencyModel()
+        a = GeoPoint("a", 40.0, -74.0)
+        delay = model.one_way_delay_s(a, a)
+        assert delay == pytest.approx(
+            max(model.min_delay_s, model.processing_overhead_s)
+        )
+
+    def test_us_coast_to_coast_rtt(self):
+        # Calibration anchor: ~55-70 ms coast to coast.
+        model = LatencyModel()
+        east = GeoPoint("e", 37.54, -77.44)
+        west = GeoPoint("w", 37.77, -122.42)
+        rtt_ms = model.rtt_s(east, west) * 1e3
+        assert 50 <= rtt_ms <= 70
+
+    def test_transatlantic_rtt(self):
+        # Calibration anchor: ~72-95 ms London <-> Virginia.
+        model = LatencyModel()
+        london = GeoPoint("l", 51.51, -0.13)
+        virginia = GeoPoint("v", 37.54, -77.44)
+        rtt_ms = model.rtt_s(london, virginia) * 1e3
+        assert 70 <= rtt_ms <= 95
+
+    def test_inflation_decays_with_distance(self):
+        model = LatencyModel()
+        assert model.route_inflation(100) > model.route_inflation(5000)
+
+    def test_inflation_never_below_base(self):
+        model = LatencyModel()
+        assert model.route_inflation(1e6) >= model.inflation_base
+
+    def test_delay_monotonic_in_distance(self):
+        model = LatencyModel()
+        origin = GeoPoint("o", 0, 0)
+        previous = 0.0
+        for lon in (1, 5, 15, 40, 90):
+            delay = model.one_way_delay_s(origin, GeoPoint("p", 0, lon))
+            assert delay > previous
+            previous = delay
+
+    def test_rtt_is_twice_one_way(self):
+        model = LatencyModel()
+        a = GeoPoint("a", 10, 10)
+        b = GeoPoint("b", 20, 20)
+        assert model.rtt_s(a, b) == pytest.approx(2 * model.one_way_delay_s(a, b))
+
+    def test_jitter_scale_positive_for_separated_points(self):
+        model = LatencyModel()
+        a = GeoPoint("a", 10, 10)
+        b = GeoPoint("b", 20, 20)
+        assert model.jitter_scale_s(a, b) > 0
+
+    def test_rejects_bad_inflation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(inflation_base=0.9)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(processing_overhead_s=-1.0)

@@ -1,0 +1,118 @@
+"""The Figure 2 lag detector as pure trace analysis."""
+
+import pytest
+
+from repro.core.lag import (
+    LagDetector,
+    LagMeasurement,
+    lag_statistics_ms,
+    measure_streaming_lag,
+)
+from repro.errors import MeasurementError
+from repro.net.capture import Capture, Direction
+from repro.net.address import Address
+from repro.net.packet import Packet
+
+
+def synth_capture(times_and_sizes, direction, host="h"):
+    capture = Capture(host)
+    for t, size in times_and_sizes:
+        packet = Packet(
+            src=Address("10.0.0.1", 1000),
+            dst=Address("10.0.0.2", 2000),
+            payload_bytes=size,
+        )
+        capture.record(packet, direction, t)
+    return capture
+
+
+class TestBurstOnsets:
+    def test_detects_first_big_packet(self):
+        detector = LagDetector()
+        series = [(0.0, 100), (1.0, 100), (2.0, 1200), (2.01, 1200)]
+        assert detector.burst_onsets(series) == [2.0]
+
+    def test_requires_quiescence(self):
+        detector = LagDetector()
+        # Big packets 0.5 s apart: one burst, not two.
+        series = [(0.0, 1200), (0.5, 1200), (1.0, 1200)]
+        assert detector.burst_onsets(series) == [0.0]
+
+    def test_two_bursts_with_gap(self):
+        detector = LagDetector()
+        series = [(0.0, 1200), (2.0, 1200)]
+        assert detector.burst_onsets(series) == [0.0, 2.0]
+
+    def test_small_packets_ignored(self):
+        detector = LagDetector()
+        series = [(0.0, 1200), (1.0, 150), (1.5, 199), (2.0, 1200)]
+        assert detector.burst_onsets(series) == [0.0, 2.0]
+
+    def test_threshold_boundary(self):
+        detector = LagDetector(big_packet_bytes=200)
+        assert detector.burst_onsets([(0.0, 200)]) == []
+        assert detector.burst_onsets([(0.0, 201)]) == [0.0]
+
+
+class TestMatching:
+    def test_simple_match(self):
+        detector = LagDetector()
+        matches = detector.match_bursts([0.0, 2.0], [0.04, 2.05])
+        assert len(matches) == 2
+        assert matches[0].lag_ms == pytest.approx(40.0)
+        assert matches[1].lag_ms == pytest.approx(50.0)
+
+    def test_lost_flash_skipped(self):
+        detector = LagDetector()
+        # Second sender burst never arrives.
+        matches = detector.match_bursts([0.0, 2.0, 4.0], [0.04, 4.06])
+        assert len(matches) == 2
+        assert matches[1].sent_at == 4.0
+
+    def test_max_lag_bound(self):
+        detector = LagDetector()
+        matches = detector.match_bursts([0.0], [1.5], max_lag_s=0.9)
+        assert matches == []
+
+    def test_bad_max_lag(self):
+        with pytest.raises(MeasurementError):
+            LagDetector().match_bursts([0.0], [0.1], max_lag_s=0)
+
+    def test_receiver_burst_before_sender_ignored(self):
+        detector = LagDetector()
+        matches = detector.match_bursts([1.0], [0.5, 1.03])
+        assert len(matches) == 1
+        assert matches[0].received_at == 1.03
+
+
+class TestEndToEnd:
+    def test_measure_from_captures(self):
+        sender = synth_capture(
+            [(0.0, 1200), (2.0, 1200), (4.0, 1200)], Direction.OUT
+        )
+        receiver = synth_capture(
+            [(0.035, 1200), (2.04, 1200), (4.03, 1200)], Direction.IN
+        )
+        lags = measure_streaming_lag(sender, receiver)
+        assert [round(m.lag_ms) for m in lags] == [35, 40, 30]
+
+    def test_empty_sender_raises(self):
+        sender = synth_capture([], Direction.OUT)
+        receiver = synth_capture([(0.0, 1200)], Direction.IN)
+        with pytest.raises(MeasurementError):
+            measure_streaming_lag(sender, receiver)
+
+    def test_statistics(self):
+        measurements = [
+            LagMeasurement(0.0, 0.030),
+            LagMeasurement(2.0, 2.040),
+            LagMeasurement(4.0, 4.050),
+        ]
+        stats = lag_statistics_ms(measurements)
+        assert stats["count"] == 3
+        assert stats["median"] == pytest.approx(40.0)
+        assert stats["mean"] == pytest.approx(40.0)
+
+    def test_statistics_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            lag_statistics_ms([])

@@ -1,0 +1,188 @@
+"""Access links, hosts and the network fabric."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError, SimulationError
+from repro.net.capture import Direction
+from repro.net.link import AccessLink
+from repro.net.packet import Packet, PacketKind
+from repro.net.routing import Network
+from repro.units import mbps, ms
+
+
+class TestAccessLink:
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ConfigurationError):
+            AccessLink(uplink_bps=0)
+
+    def test_uplink_serialisation(self):
+        link = AccessLink(uplink_bps=mbps(1), downlink_bps=mbps(1))
+        departure = link.reserve_uplink(0.0, 1250)
+        assert departure == pytest.approx(0.01)
+
+    def test_uplink_queueing(self):
+        link = AccessLink(uplink_bps=mbps(1), downlink_bps=mbps(1))
+        first = link.reserve_uplink(0.0, 1250)
+        second = link.reserve_uplink(0.0, 1250)
+        assert second == pytest.approx(first + 0.01)
+
+    def test_backlog_reported(self):
+        link = AccessLink(uplink_bps=mbps(1), downlink_bps=mbps(1))
+        link.reserve_uplink(0.0, 12_500)
+        assert link.uplink_backlog(0.0) == pytest.approx(0.1)
+
+    def test_set_ingress_cap_and_remove(self):
+        link = AccessLink()
+        link.set_ingress_cap(mbps(1))
+        assert link.ingress_shaper is not None
+        link.set_ingress_cap(None)
+        assert link.ingress_shaper is None
+
+
+class TestHostSockets:
+    def test_double_bind_rejected(self, network, registry):
+        host = network.add_host("h", registry.get("US-East").location)
+        host.bind(5000, lambda p, h: None)
+        with pytest.raises(ConfigurationError):
+            host.bind(5000, lambda p, h: None)
+
+    def test_unbind_then_rebind(self, network, registry):
+        host = network.add_host("h", registry.get("US-East").location)
+        host.bind(5000, lambda p, h: None)
+        host.unbind(5000)
+        host.bind(5000, lambda p, h: None)
+        assert host.is_bound(5000)
+
+    def test_ephemeral_bind(self, network, registry):
+        host = network.add_host("h", registry.get("US-East").location)
+        address = host.bind_ephemeral(lambda p, h: None)
+        assert address.port >= 49152
+
+    def test_cannot_spoof_source(self, us_pair):
+        east, west = us_pair
+        packet = Packet(
+            src=west.address(1), dst=east.address(2), payload_bytes=10
+        )
+        with pytest.raises(SimulationError):
+            east.send(packet)
+
+
+class TestDelivery:
+    def test_end_to_end_delivery(self, network, us_pair):
+        east, west = us_pair
+        got = []
+        west.bind(5000, lambda p, h: got.append(p))
+        east.bind(6000, lambda p, h: None)
+        east.send(Packet(src=east.address(6000), dst=west.address(5000),
+                         payload_bytes=500))
+        network.simulator.run()
+        assert len(got) == 1
+
+    def test_delivery_time_close_to_nominal(self, network, us_pair):
+        east, west = us_pair
+        times = []
+        west.bind(5000, lambda p, h: times.append(network.simulator.now))
+        east.bind(6000, lambda p, h: None)
+        east.send(Packet(src=east.address(6000), dst=west.address(5000),
+                         payload_bytes=500))
+        network.simulator.run()
+        nominal = network.one_way_delay(east, west)
+        assert nominal <= times[0] <= nominal * 1.8
+
+    def test_unbound_port_counts_unhandled(self, network, us_pair):
+        east, west = us_pair
+        east.bind(6000, lambda p, h: None)
+        east.send(Packet(src=east.address(6000), dst=west.address(5000),
+                         payload_bytes=10))
+        network.simulator.run()
+        assert west.packets_unhandled == 1
+
+    def test_unknown_destination_raises(self, network, us_pair):
+        east, _ = us_pair
+        east.bind(6000, lambda p, h: None)
+        packet = Packet(
+            src=east.address(6000),
+            dst=east.address(6000).with_port(1),
+            payload_bytes=10,
+        )
+        packet.dst = type(packet.dst)("10.99.99.99", 1)
+        with pytest.raises(RoutingError):
+            east.send(packet)
+
+    def test_capture_sees_both_directions(self, network, us_pair):
+        east, west = us_pair
+        east_capture = east.start_capture()
+        west_capture = west.start_capture()
+        west.bind(5000, lambda p, h: None)
+        east.bind(6000, lambda p, h: None)
+        east.send(Packet(src=east.address(6000), dst=west.address(5000),
+                         payload_bytes=10))
+        network.simulator.run()
+        assert len(east_capture.filter(direction=Direction.OUT)) == 1
+        assert len(west_capture.filter(direction=Direction.IN)) == 1
+
+    def test_receiver_timestamp_after_sender(self, network, us_pair):
+        east, west = us_pair
+        east_capture = east.start_capture()
+        west_capture = west.start_capture()
+        west.bind(5000, lambda p, h: None)
+        east.bind(6000, lambda p, h: None)
+        east.send(Packet(src=east.address(6000), dst=west.address(5000),
+                         payload_bytes=10))
+        network.simulator.run()
+        sent = east_capture.filter(direction=Direction.OUT)[0].timestamp
+        received = west_capture.filter(direction=Direction.IN)[0].timestamp
+        assert received > sent
+
+
+class TestNetworkTopology:
+    def test_duplicate_host_name(self, network, registry):
+        network.add_host("h", registry.get("US-East").location)
+        with pytest.raises(ConfigurationError):
+            network.add_host("h", registry.get("US-West").location)
+
+    def test_lookup_by_name_and_ip(self, network, registry):
+        host = network.add_host("h", registry.get("US-East").location)
+        assert network.host_by_name("h") is host
+        assert network.host_by_ip(host.ip) is host
+
+    def test_unknown_lookups_raise(self, network):
+        with pytest.raises(RoutingError):
+            network.host_by_name("ghost")
+        with pytest.raises(RoutingError):
+            network.host_by_ip("1.2.3.4")
+
+    def test_loss_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            Network(base_loss_rate=1.5)
+
+    def test_lossy_network_drops(self, registry):
+        network = Network(base_loss_rate=0.5)
+        east = network.add_host("e", registry.get("US-East").location)
+        west = network.add_host("w", registry.get("US-West").location)
+        got = []
+        west.bind(5000, lambda p, h: got.append(p))
+        east.bind(6000, lambda p, h: None)
+        for _ in range(200):
+            east.send(Packet(src=east.address(6000),
+                             dst=west.address(5000), payload_bytes=10))
+        network.simulator.run()
+        assert 40 < len(got) < 160
+        assert network.packets_lost == 200 - len(got)
+
+    def test_ingress_shaper_drops_counted(self, network, us_pair):
+        east, west = us_pair
+        west.link.set_ingress_cap(mbps(0.1), max_queue_delay_s=ms(1))
+        west.bind(5000, lambda p, h: None)
+        east.bind(6000, lambda p, h: None)
+        for _ in range(100):
+            east.send(Packet(src=east.address(6000), dst=west.address(5000),
+                             payload_bytes=1200))
+        network.simulator.run()
+        assert network.packets_shaper_dropped > 0
+
+    def test_nominal_rtt_symmetric(self, network, us_pair):
+        east, west = us_pair
+        assert network.nominal_rtt(east, west) == pytest.approx(
+            network.nominal_rtt(west, east)
+        )

@@ -1,0 +1,101 @@
+"""Packet records."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.address import Address
+from repro.net.packet import (
+    HEADER_OVERHEAD_BYTES,
+    Packet,
+    PacketKind,
+    Protocol,
+)
+
+
+def make_packet(**kwargs):
+    defaults = dict(
+        src=Address("10.0.0.1", 1000),
+        dst=Address("10.0.0.2", 2000),
+        payload_bytes=100,
+    )
+    defaults.update(kwargs)
+    return Packet(**defaults)
+
+
+class TestPacket:
+    def test_wire_bytes_includes_overhead(self):
+        packet = make_packet(payload_bytes=100)
+        assert packet.wire_bytes == 100 + HEADER_OVERHEAD_BYTES
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_packet(payload_bytes=-1)
+
+    def test_zero_payload_allowed(self):
+        assert make_packet(payload_bytes=0).wire_bytes == HEADER_OVERHEAD_BYTES
+
+    def test_unique_ids(self):
+        ids = {make_packet().packet_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_default_protocol_udp(self):
+        assert make_packet().proto is Protocol.UDP
+
+
+class TestReplyTemplate:
+    def test_swaps_endpoints(self):
+        packet = make_packet()
+        reply = packet.reply_template(20, PacketKind.PROBE_REPLY)
+        assert reply.src == packet.dst
+        assert reply.dst == packet.src
+
+    def test_references_original(self):
+        packet = make_packet()
+        reply = packet.reply_template(20, PacketKind.PROBE_REPLY)
+        assert reply.metadata["in_reply_to"] == packet.packet_id
+
+    def test_fresh_id(self):
+        packet = make_packet()
+        reply = packet.reply_template(20, PacketKind.PROBE_REPLY)
+        assert reply.packet_id != packet.packet_id
+
+    def test_keeps_flow(self):
+        packet = make_packet(flow_id="s1|a|v-high")
+        reply = packet.reply_template(20, PacketKind.FEEDBACK)
+        assert reply.flow_id == "s1|a|v-high"
+
+
+class TestForwardedTo:
+    def test_new_endpoints(self):
+        packet = make_packet(flow_id="f", payload="data")
+        relay = Address("172.16.0.1", 8801)
+        client = Address("10.0.0.3", 40404)
+        forwarded = packet.forwarded_to(relay, client)
+        assert forwarded.src == relay
+        assert forwarded.dst == client
+
+    def test_preserves_payload_and_flow(self):
+        payload = object()
+        packet = make_packet(flow_id="f", payload=payload)
+        forwarded = packet.forwarded_to(
+            Address("172.16.0.1", 1), Address("10.0.0.3", 2)
+        )
+        assert forwarded.payload is payload
+        assert forwarded.flow_id == "f"
+
+    def test_metadata_copied_not_shared(self):
+        packet = make_packet(metadata={"seq": 1})
+        forwarded = packet.forwarded_to(
+            Address("172.16.0.1", 1), Address("10.0.0.3", 2)
+        )
+        forwarded.metadata["seq"] = 99
+        assert packet.metadata["seq"] == 1
+
+    def test_fresh_id_and_cleared_timestamp(self):
+        packet = make_packet()
+        packet.sent_at = 1.0
+        forwarded = packet.forwarded_to(
+            Address("172.16.0.1", 1), Address("10.0.0.3", 2)
+        )
+        assert forwarded.packet_id != packet.packet_id
+        assert forwarded.sent_at is None

@@ -1,0 +1,192 @@
+"""Padding workflow (Fig. 13), A/V alignment, loopback devices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, MediaError
+from repro.media.audio import SpeechLikeSource, ToneSource
+from repro.media.feeds import HighMotionFeed, LowMotionFeed
+from repro.media.frames import FrameSpec
+from repro.media.loopback import VirtualCamera, VirtualMicrophone
+from repro.media.padding import (
+    PaddedSource,
+    add_padding,
+    crop_padding,
+    pad_size,
+    resize_frame,
+)
+from repro.media.sync import (
+    align_recordings,
+    find_audio_offset,
+    measure_loudness,
+    normalize_loudness,
+    trim_to_offset,
+)
+
+
+class TestPadding:
+    def test_pad_size(self):
+        assert pad_size(100, 0.15) == 15
+
+    def test_pad_fraction_bounds(self):
+        with pytest.raises(MediaError):
+            pad_size(100, 0.6)
+
+    def test_add_padding_dimensions(self):
+        frame = np.zeros((48, 64), dtype=np.uint8)
+        padded = add_padding(frame, 0.25)
+        assert padded.shape == (48 + 24, 64 + 32)
+
+    def test_crop_roundtrip(self):
+        frame = np.arange(48 * 64, dtype=np.uint8).reshape(48, 64)
+        padded = add_padding(frame, 0.2)
+        assert np.array_equal(crop_padding(padded, frame.shape), frame)
+
+    def test_crop_too_large_rejected(self):
+        with pytest.raises(MediaError):
+            crop_padding(np.zeros((10, 10)), (20, 20))
+
+    def test_padding_value_is_mid_grey(self):
+        padded = add_padding(np.zeros((48, 64), dtype=np.uint8), 0.2)
+        assert padded[0, 0] == 128
+
+    def test_multichannel_rejected(self):
+        with pytest.raises(MediaError):
+            add_padding(np.zeros((10, 10, 3)))
+
+
+class TestPaddedSource:
+    def test_spec_expanded(self, small_spec):
+        padded = PaddedSource(LowMotionFeed(small_spec), 0.15)
+        assert padded.spec.width > small_spec.width
+        assert padded.spec.height > small_spec.height
+
+    def test_frame_crop_roundtrip(self, small_spec):
+        content = LowMotionFeed(small_spec)
+        padded = PaddedSource(content, 0.2)
+        frame = padded.frame(4)
+        assert np.array_equal(padded.crop(frame), content.frame(4))
+
+    def test_fps_preserved(self, small_spec):
+        padded = PaddedSource(LowMotionFeed(small_spec), 0.15)
+        assert padded.spec.fps == small_spec.fps
+
+
+class TestResize:
+    def test_identity(self):
+        frame = np.arange(100, dtype=np.uint8).reshape(10, 10)
+        assert np.array_equal(resize_frame(frame, (10, 10)), frame)
+
+    def test_downscale_shape(self):
+        frame = np.zeros((48, 64), dtype=np.uint8)
+        assert resize_frame(frame, (24, 32)).shape == (24, 32)
+
+    def test_upscale_shape(self):
+        frame = np.zeros((24, 32), dtype=np.uint8)
+        assert resize_frame(frame, (48, 64)).shape == (48, 64)
+
+    def test_constant_frame_preserved(self):
+        frame = np.full((32, 32), 77, dtype=np.uint8)
+        out = resize_frame(frame, (20, 28))
+        assert np.all(out == 77)
+
+    def test_dtype_preserved_for_uint8(self):
+        frame = np.zeros((16, 16), dtype=np.uint8)
+        assert resize_frame(frame, (24, 24)).dtype == np.uint8
+
+    def test_invalid_target(self):
+        with pytest.raises(MediaError):
+            resize_frame(np.zeros((16, 16)), (0, 10))
+
+
+class TestVideoAlignment:
+    def test_finds_known_shift(self, small_spec):
+        feed = HighMotionFeed(small_spec)
+        reference = feed.frames(30)
+        recorded = feed.frames(25, start=5)  # starts 5 frames late
+        shift, ref_aligned, rec_aligned = align_recordings(
+            reference, recorded, max_shift=10
+        )
+        assert shift == -5
+        assert len(ref_aligned) == len(rec_aligned)
+        assert np.array_equal(ref_aligned[0], rec_aligned[0])
+
+    def test_zero_shift(self, small_spec):
+        feed = HighMotionFeed(small_spec)
+        frames = feed.frames(20)
+        shift, _, _ = align_recordings(frames, frames, max_shift=5)
+        assert shift == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            align_recordings([], [np.zeros((8, 8))])
+
+
+class TestAudioAlignment:
+    def test_finds_sample_offset(self):
+        speech = SpeechLikeSource().read_duration(0, 1.0)
+        recorded = speech[400:]
+        offset = find_audio_offset(speech, recorded, max_offset=1000)
+        assert offset == -400
+
+    def test_positive_offset(self):
+        speech = SpeechLikeSource().read_duration(0, 1.0)
+        recorded = np.concatenate([np.zeros(300), speech])
+        offset = find_audio_offset(speech, recorded, max_offset=1000)
+        assert offset == 300
+
+    def test_trim_to_offset(self):
+        reference = np.arange(100, dtype=np.float64)
+        recorded = np.concatenate([np.zeros(10), reference])
+        ref_aligned, rec_aligned = trim_to_offset(reference, recorded, 10)
+        assert np.array_equal(ref_aligned, rec_aligned[: len(ref_aligned)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            find_audio_offset(np.array([]), np.array([1.0]))
+
+
+class TestLoudness:
+    def test_normalized_loudness_hits_target(self):
+        speech = SpeechLikeSource().read_duration(0, 2.0)
+        out = normalize_loudness(speech, target_lufs=-23.0)
+        assert measure_loudness(out) == pytest.approx(-23.0, abs=0.5)
+
+    def test_quiet_signal_amplified(self):
+        speech = SpeechLikeSource().read_duration(0, 2.0) * 0.01
+        out = normalize_loudness(speech, target_lufs=-23.0)
+        assert np.abs(out).max() > np.abs(speech).max()
+
+    def test_silence_measures_floor(self):
+        assert measure_loudness(np.zeros(16_000)) == -70.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            measure_loudness(np.array([]))
+
+
+class TestLoopback:
+    def test_camera_serves_frames_by_time(self, small_spec):
+        camera = VirtualCamera(LowMotionFeed(small_spec))
+        frame = camera.read_frame_at(1.0)
+        assert frame.shape == small_spec.shape
+        assert camera.frame_index_at(1.0) == small_spec.fps
+
+    def test_camera_counts_served(self, small_spec):
+        camera = VirtualCamera(LowMotionFeed(small_spec))
+        camera.read_frame_at(0.0)
+        camera.read_frame(3)
+        assert camera.frames_served == 2
+
+    def test_camera_negative_time_rejected(self, small_spec):
+        with pytest.raises(MediaError):
+            VirtualCamera(LowMotionFeed(small_spec)).read_frame_at(-1.0)
+
+    def test_microphone_serves_samples(self):
+        microphone = VirtualMicrophone(ToneSource())
+        samples = microphone.read_at(0.5, 0.25)
+        assert len(samples) == 4000
+        assert microphone.samples_served == 4000
+
+    def test_microphone_sample_rate(self):
+        assert VirtualMicrophone(ToneSource()).sample_rate == 16_000

@@ -1,0 +1,292 @@
+"""Integration tests asserting the paper's headline findings.
+
+Each test runs a scaled-down version of the corresponding experiment
+and checks the *shape* of the result -- who wins, in which direction,
+roughly by how much -- mirroring Findings 1-5 and the per-figure
+observations of Sections 4-5.  These are the reproduction's acceptance
+tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.postprocess import score_recorded_video
+from repro.core.session import SessionConfig
+from repro.core.testbed import Testbed, TestbedConfig
+from repro.experiments.endpoint_study import p2p_check, run_endpoint_study
+from repro.experiments.lag_study import run_lag_scenario
+from repro.experiments.mobile_study import run_mobile_scenario
+from repro.experiments.scale import ExperimentScale
+from repro.media.frames import FrameSpec
+
+TINY = ExperimentScale(
+    sessions=2,
+    lag_session_duration_s=10.0,
+    qoe_session_duration_s=6.0,
+    content_spec=FrameSpec(96, 72, 10),
+    probe_count=6,
+    score_frames=20,
+)
+
+
+@pytest.fixture(scope="module")
+def us_lag():
+    return {
+        platform: run_lag_scenario(platform, "US-East", "US", scale=TINY)
+        for platform in ("zoom", "webex", "meet")
+    }
+
+
+@pytest.fixture(scope="module")
+def eu_lag():
+    return {
+        platform: run_lag_scenario(platform, "CH", "Europe", scale=TINY)
+        for platform in ("zoom", "webex", "meet")
+    }
+
+
+class TestFinding1UsLag:
+    """US lag 20-50 ms (Zoom), 10-70 ms (Webex), 40-70 ms (Meet)."""
+
+    def test_zoom_band(self, us_lag):
+        lo, hi = us_lag["zoom"].lag_range_ms()
+        assert 5 <= lo <= 40
+        assert 25 <= hi <= 70
+
+    def test_webex_band(self, us_lag):
+        lo, hi = us_lag["webex"].lag_range_ms()
+        assert 5 <= lo <= 40
+        assert 25 <= hi <= 80
+
+    def test_meet_band_highest(self, us_lag):
+        lo, hi = us_lag["meet"].lag_range_ms()
+        assert lo >= 25
+        assert hi <= 110
+
+    def test_lag_tracks_distance_from_host(self, us_lag):
+        for platform in ("zoom", "webex"):
+            result = us_lag[platform]
+            east = result.median_lag_ms("US-East2")
+            west = result.median_lag_ms("US-West")
+            assert west > east + 10  # ~30 ms geography (Fig. 4)
+
+    def test_meet_lowest_rtt_but_worst_lag(self, us_lag):
+        """The Section 4.2.1 paradox."""
+        meet_rtt = np.mean(
+            [np.mean(v) for v in us_lag["meet"].rtts_ms.values()]
+        )
+        zoom_rtt = np.mean(
+            [np.mean(v) for v in us_lag["zoom"].rtts_ms.values()]
+        )
+        assert meet_rtt < zoom_rtt
+        meet_lag = np.mean(
+            [np.median(v) for v in us_lag["meet"].lags_ms.values()]
+        )
+        zoom_lag = np.mean(
+            [np.median(v) for v in us_lag["zoom"].lags_ms.values()]
+        )
+        assert meet_lag > zoom_lag
+
+
+class TestWebexDetour:
+    """Fig. 5b: US-west sessions detour via US-east on Webex."""
+
+    def test_west_west_worse_than_west_east(self):
+        result = run_lag_scenario("webex", "US-West", "US", scale=TINY)
+        west_peer = result.median_lag_ms("US-West2")
+        east_peer = result.median_lag_ms("US-East")
+        assert west_peer > east_peer + 10
+
+
+class TestFinding2EuropeLag:
+    """EU lag: Zoom 90-150, Webex 75-90(+), Meet 30-40(+) ms."""
+
+    def test_zoom_europe_high(self, eu_lag):
+        lo, hi = eu_lag["zoom"].lag_range_ms()
+        assert lo >= 80
+        assert hi <= 170
+
+    def test_webex_europe_transatlantic(self, eu_lag):
+        lo, hi = eu_lag["webex"].lag_range_ms()
+        assert 70 <= lo
+        assert hi <= 125
+
+    def test_meet_europe_low(self, eu_lag):
+        lo, hi = eu_lag["meet"].lag_range_ms()
+        assert lo <= 60
+        assert hi <= 90
+
+    def test_meet_beats_others_in_europe(self, eu_lag):
+        meet_hi = eu_lag["meet"].lag_range_ms()[1]
+        zoom_lo = eu_lag["zoom"].lag_range_ms()[0]
+        webex_lo = eu_lag["webex"].lag_range_ms()[0]
+        assert meet_hi < zoom_lo
+        assert meet_hi < webex_lo
+
+    def test_webex_eu_rtts_transatlantic(self, eu_lag):
+        rtts = [np.mean(v) for v in eu_lag["webex"].rtts_ms.values()]
+        assert all(70 <= r <= 120 for r in rtts)
+
+    def test_meet_eu_rtts_local(self, eu_lag):
+        rtts = [np.mean(v) for v in eu_lag["meet"].rtts_ms.values()]
+        assert all(r <= 25 for r in rtts)
+
+
+class TestEndpointArchitecture:
+    """Fig. 3 and the 20 / 19.5 / 1.8 endpoint churn."""
+
+    def test_zoom_fresh_endpoint_every_session(self):
+        result = run_endpoint_study("zoom", sessions=6, scale=TINY)
+        assert result.mean_endpoints_per_client() == pytest.approx(6.0)
+
+    def test_webex_occasionally_reuses(self):
+        result = run_endpoint_study("webex", sessions=8, scale=TINY)
+        assert 6.0 <= result.mean_endpoints_per_client() <= 8.0
+
+    def test_meet_sticks_to_few_endpoints(self):
+        result = run_endpoint_study("meet", sessions=8, scale=TINY)
+        assert result.mean_endpoints_per_client() <= 2.5
+
+    def test_single_vs_distributed_relay(self):
+        zoom = run_endpoint_study("zoom", sessions=2, scale=TINY)
+        meet = run_endpoint_study("meet", sessions=2, scale=TINY)
+        assert all(n == 1 for n in zoom.endpoints_per_session())
+        assert all(n > 1 for n in meet.endpoints_per_session())
+
+    def test_zoom_p2p_two_party(self):
+        assert p2p_check(scale=TINY)
+
+
+class TestFinding3MotionQoe:
+    """High-motion feeds lose significant quality at equal rates."""
+
+    @pytest.fixture(scope="class")
+    def qoe(self):
+        testbed = Testbed(TestbedConfig(seed=5))
+        for name in ("US-East", "US-East2", "US-West"):
+            testbed.add_vm(name)
+        names = ["US-East", "US-East2", "US-West"]
+        out = {}
+        for feed in ("low", "high"):
+            config = SessionConfig(
+                duration_s=6.0,
+                feed=feed,
+                pad_fraction=0.15,
+                content_spec=FrameSpec(96, 72, 10),
+                probes=False,
+                record_video=True,
+                gop_size=30,
+            )
+            artifacts = testbed.run_session("zoom", names, "US-East", config)
+            report = score_recorded_video(
+                artifacts.padded_feed,
+                artifacts.recorders["US-West"].frames,
+                compute_vifp=True,
+                max_frames=20,
+            )
+            out[feed] = report
+        return out
+
+    def test_psnr_degrades(self, qoe):
+        assert qoe["low"].mean_psnr > qoe["high"].mean_psnr + 3
+
+    def test_ssim_degrades(self, qoe):
+        assert qoe["low"].mean_ssim > qoe["high"].mean_ssim + 0.03
+
+    def test_vifp_degrades(self, qoe):
+        assert qoe["low"].mean_vifp > qoe["high"].mean_vifp + 0.05
+
+
+class TestFinding4Rates:
+    """Webex highest multi-user rate; Meet most dynamic; Meet N=2 boost."""
+
+    @pytest.fixture(scope="class")
+    def rates(self):
+        testbed = Testbed(TestbedConfig(seed=6))
+        for name in ("US-East", "US-East2", "US-West", "US-West2"):
+            testbed.add_vm(name)
+        names4 = ["US-East", "US-East2", "US-West", "US-West2"]
+        out = {}
+        for platform in ("zoom", "webex", "meet"):
+            config = SessionConfig(
+                duration_s=5.0,
+                feed="high",
+                pad_fraction=0.15,
+                content_spec=FrameSpec(96, 72, 10),
+                probes=False,
+                gop_size=30,
+            )
+            artifacts = testbed.run_session(platform, names4, "US-East", config)
+            out[platform] = artifacts.rate_summary().mean_download_bps
+        return out
+
+    def test_webex_highest_multiuser(self, rates):
+        assert rates["webex"] > rates["zoom"]
+        assert rates["webex"] > rates["meet"]
+
+    def test_rates_in_paper_range(self, rates):
+        assert 0.4e6 < rates["zoom"] < 1.3e6
+        assert 1.2e6 < rates["webex"] < 2.6e6
+        assert 0.3e6 < rates["meet"] < 1.2e6
+
+    def test_meet_two_party_much_higher(self):
+        testbed = Testbed(TestbedConfig(seed=7))
+        testbed.add_vm("US-East")
+        testbed.add_vm("US-West")
+        config = SessionConfig(
+            duration_s=5.0,
+            feed="low",
+            pad_fraction=0.15,
+            content_spec=FrameSpec(96, 72, 10),
+            probes=False,
+            gop_size=30,
+        )
+        artifacts = testbed.run_session(
+            "meet", ["US-East", "US-West"], "US-East", config
+        )
+        two_party = artifacts.rate_summary().mean_download_bps
+        assert two_party > 1.0e6  # vs 0.4-0.6 Mbps multi-party
+
+
+class TestFinding5Mobile:
+    """2-3 cores; Meet most bandwidth-hungry; screen-off savings."""
+
+    @pytest.fixture(scope="class")
+    def mobile(self):
+        scale = ExperimentScale(
+            sessions=1, qoe_session_duration_s=10.0,
+            content_spec=FrameSpec(96, 72, 10),
+        )
+        out = {}
+        for platform in ("zoom", "webex", "meet"):
+            for scenario in ("LM", "LM-View", "LM-Off"):
+                out[(platform, scenario)] = run_mobile_scenario(
+                    platform, scenario, scale=scale
+                )
+        return out
+
+    def test_two_to_three_cores(self, mobile):
+        for platform in ("zoom", "webex", "meet"):
+            cpu = mobile[(platform, "LM")].readings["J3"].median_cpu_pct
+            assert 130 <= cpu <= 300
+
+    def test_meet_most_bandwidth_hungry(self, mobile):
+        meet = mobile[("meet", "LM")].readings["S10"].mean_rate_mbps
+        zoom = mobile[("zoom", "LM")].readings["S10"].mean_rate_mbps
+        assert meet > 1.5 * zoom
+
+    def test_zoom_gallery_halves_cpu(self, mobile):
+        full = mobile[("zoom", "LM")].readings["S10"].median_cpu_pct
+        gallery = mobile[("zoom", "LM-View")].readings["S10"].median_cpu_pct
+        assert gallery < 0.75 * full
+
+    def test_screen_off_saves_battery(self, mobile):
+        for platform in ("zoom", "meet"):
+            on = mobile[(platform, "LM")].readings["J3"].discharge_mah
+            off = mobile[(platform, "LM-Off")].readings["J3"].discharge_mah
+            assert off < 0.6 * on
+
+    def test_webex_screen_off_cpu_anomaly(self, mobile):
+        webex = mobile[("webex", "LM-Off")].readings["S10"].median_cpu_pct
+        zoom = mobile[("zoom", "LM-Off")].readings["S10"].median_cpu_pct
+        assert webex > zoom + 50

@@ -1,0 +1,299 @@
+"""Platform models: architecture, rates, subscriptions, wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.testbed import Testbed, TestbedConfig
+from repro.errors import PlatformError, SessionError
+from repro.net.address import MEET_UDP_PORT, WEBEX_UDP_PORT, ZOOM_UDP_PORT
+from repro.platforms import PLATFORMS, make_platform
+from repro.platforms.base import ClientBinding, StreamLayer, ViewContext
+from repro.platforms.ratecontrol import RateContext
+
+
+@pytest.fixture
+def deployed(testbed):
+    testbed.add_vm("US-East")
+    testbed.add_vm("US-East2")
+    testbed.add_vm("US-West")
+    return testbed
+
+
+def bindings_for(testbed, names):
+    return [
+        ClientBinding(n, testbed.clients[n].host, 40404) for n in names
+    ]
+
+
+class TestRegistry:
+    def test_three_platforms(self):
+        assert set(PLATFORMS) == {"zoom", "webex", "meet"}
+
+    def test_make_platform_case_insensitive(self):
+        assert make_platform("Zoom").name == "zoom"
+
+    def test_unknown_platform(self):
+        with pytest.raises(ValueError):
+            make_platform("skype")
+
+    def test_designated_ports(self):
+        assert make_platform("zoom").udp_port == ZOOM_UDP_PORT
+        assert make_platform("webex").udp_port == WEBEX_UDP_PORT
+        assert make_platform("meet").udp_port == MEET_UDP_PORT
+
+    def test_audio_rates_match_paper(self):
+        # Section 4.4 footnote: 90 / 45 / 40 Kbps.
+        assert make_platform("zoom").audio_bps == 90_000
+        assert make_platform("webex").audio_bps == 45_000
+        assert make_platform("meet").audio_bps == 40_000
+
+
+class TestVideoRates:
+    def test_zoom_p2p_above_relayed(self):
+        zoom = make_platform("zoom")
+        p2p = zoom.video_rates(RateContext(num_participants=2))
+        relayed = zoom.video_rates(RateContext(num_participants=4))
+        assert p2p[StreamLayer.HIGH] > relayed[StreamLayer.HIGH]
+
+    def test_zoom_low_motion_small_discount(self):
+        zoom = make_platform("zoom")
+        low = zoom.video_rates(RateContext(num_participants=4, motion="low"))
+        high = zoom.video_rates(RateContext(num_participants=4, motion="high"))
+        ratio = low[StreamLayer.HIGH] / high[StreamLayer.HIGH]
+        assert 0.90 <= ratio <= 0.95  # "least difference (5-10%)"
+
+    def test_webex_halves_for_low_motion(self):
+        webex = make_platform("webex")
+        low = webex.video_rates(RateContext(num_participants=4, motion="low"))
+        high = webex.video_rates(RateContext(num_participants=4, motion="high"))
+        assert low[StreamLayer.HIGH] == pytest.approx(
+            0.52 * high[StreamLayer.HIGH]
+        )
+
+    def test_webex_highest_multiuser_rate(self):
+        context = RateContext(num_participants=4, motion="high")
+        rates = {
+            name: make_platform(name).video_rates(context)[StreamLayer.HIGH]
+            for name in PLATFORMS
+        }
+        assert rates["webex"] == max(rates.values())
+
+    def test_webex_device_adaptive_mobile(self):
+        webex = make_platform("webex")
+        high_end = webex.video_rates(
+            RateContext(num_participants=3, device="mobile-highend")
+        )
+        low_end = webex.video_rates(
+            RateContext(num_participants=3, device="mobile-lowend")
+        )
+        assert low_end[StreamLayer.HIGH] < high_end[StreamLayer.HIGH]
+
+    def test_meet_two_party_boost(self):
+        meet = make_platform("meet")
+        two = meet.video_rates(RateContext(num_participants=2, motion="low"))
+        four = meet.video_rates(RateContext(num_participants=4, motion="low"))
+        assert two[StreamLayer.HIGH] > 2 * four[StreamLayer.HIGH]
+
+    def test_meet_session_rate_varies(self):
+        meet = make_platform("meet")
+        rates = {
+            meet.video_rates(
+                RateContext(num_participants=4, session_index=i)
+            )[StreamLayer.HIGH]
+            for i in range(10)
+        }
+        assert len(rates) > 5  # "most dynamic rate changes"
+
+    def test_webex_rate_constant_across_sessions(self):
+        webex = make_platform("webex")
+        rates = {
+            webex.video_rates(
+                RateContext(num_participants=4, session_index=i)
+            )[StreamLayer.HIGH]
+            for i in range(10)
+        }
+        assert len(rates) == 1  # "virtually constant"
+
+
+class TestSubscriptions:
+    def test_fullscreen_subscribes_host_high(self):
+        zoom = make_platform("zoom")
+        plan = zoom.subscriptions_for(
+            "b", ViewContext(), ["a", "b", "c"], display="a"
+        )
+        assert StreamLayer.HIGH in plan["a"]
+
+    def test_gallery_subscribes_low_tiles(self):
+        zoom = make_platform("zoom")
+        plan = zoom.subscriptions_for(
+            "b", ViewContext(view_mode="gallery"), ["a", "b", "c"], "a"
+        )
+        assert plan["a"] == [StreamLayer.LOW]
+        assert plan["c"] == [StreamLayer.LOW]
+
+    def test_gallery_caps_at_four_tiles(self):
+        zoom = make_platform("zoom")
+        names = ["r"] + [f"s{i}" for i in range(8)]
+        plan = zoom.subscriptions_for(
+            "r", ViewContext(view_mode="gallery"), names, "s0"
+        )
+        assert len(plan) == 4  # "show videos for up to four"
+
+    def test_audio_only_subscribes_nothing(self):
+        zoom = make_platform("zoom")
+        plan = zoom.subscriptions_for(
+            "b", ViewContext(view_mode="audio-only"), ["a", "b"], "a"
+        )
+        assert plan == {}
+
+    def test_meet_gallery_is_fullscreen(self):
+        meet = make_platform("meet")
+        gallery = meet.subscriptions_for(
+            "b", ViewContext(view_mode="gallery"), ["a", "b", "c"], "a"
+        )
+        fullscreen = meet.subscriptions_for(
+            "b", ViewContext(), ["a", "b", "c"], "a"
+        )
+        assert gallery == fullscreen
+
+    def test_meet_fullscreen_has_thumbnails(self):
+        meet = make_platform("meet")
+        names = ["r", "h", "x", "y"]
+        plan = meet.subscriptions_for("r", ViewContext(), names, "h")
+        assert plan["h"] == [StreamLayer.HIGH]
+        assert plan["x"] == [StreamLayer.LOW]
+        assert plan["y"] == [StreamLayer.LOW]
+
+    def test_view_context_validation(self):
+        with pytest.raises(PlatformError):
+            ViewContext(view_mode="cinema")
+
+
+class TestSessionWiring:
+    def test_zoom_single_relay_for_all(self, deployed):
+        platform = deployed.platform("zoom")
+        names = ["US-East", "US-East2", "US-West"]
+        wiring = platform.create_session(
+            bindings_for(deployed, names), "US-East",
+            RateContext(num_participants=3),
+        )
+        addresses = set(wiring.service_address.values())
+        assert len(addresses) == 1
+        assert wiring.udp_port == ZOOM_UDP_PORT
+        wiring.close()
+
+    def test_meet_per_client_relays(self, deployed):
+        platform = deployed.platform("meet")
+        names = ["US-East", "US-East2", "US-West"]
+        wiring = platform.create_session(
+            bindings_for(deployed, names), "US-East",
+            RateContext(num_participants=3),
+        )
+        # US-West attaches to a different (nearby) endpoint than east.
+        east_ep = wiring.service_address["US-East"]
+        west_ep = wiring.service_address["US-West"]
+        assert east_ep.ip != west_ep.ip
+        wiring.close()
+
+    def test_zoom_p2p_at_two(self, deployed):
+        platform = deployed.platform("zoom")
+        names = ["US-East", "US-West"]
+        wiring = platform.create_session(
+            bindings_for(deployed, names), "US-East",
+            RateContext(num_participants=2),
+        )
+        assert wiring.p2p
+        assert wiring.relay_hosts == []
+        # Each peer's "service address" is the other peer.
+        assert wiring.service_address["US-East"].ip == (
+            deployed.clients["US-West"].host.ip
+        )
+
+    def test_webex_not_p2p_at_two(self, deployed):
+        platform = deployed.platform("webex")
+        names = ["US-East", "US-West"]
+        wiring = platform.create_session(
+            bindings_for(deployed, names), "US-East",
+            RateContext(num_participants=2),
+        )
+        assert not wiring.p2p
+        wiring.close()
+
+    def test_needs_two_clients(self, deployed):
+        platform = deployed.platform("zoom")
+        with pytest.raises(SessionError):
+            platform.create_session(
+                bindings_for(deployed, ["US-East"]), "US-East",
+                RateContext(num_participants=2),
+            )
+
+    def test_host_must_participate(self, deployed):
+        platform = deployed.platform("zoom")
+        with pytest.raises(SessionError):
+            platform.create_session(
+                bindings_for(deployed, ["US-East", "US-West"]), "CH",
+                RateContext(num_participants=2),
+            )
+
+    def test_layers_needed_reflects_subscriptions(self, deployed):
+        platform = deployed.platform("meet")
+        names = ["US-East", "US-East2", "US-West"]
+        wiring = platform.create_session(
+            bindings_for(deployed, names), "US-East",
+            RateContext(num_participants=3),
+        )
+        # Host is displayed by everyone -> HIGH; also a thumbnail
+        # source for receivers displaying it?  Non-host senders are
+        # thumbnail (LOW) sources.
+        assert StreamLayer.HIGH in wiring.layers_needed("US-East")
+        wiring.close()
+
+    def test_flow_id_format(self, deployed):
+        platform = deployed.platform("zoom")
+        names = ["US-East", "US-East2", "US-West"]
+        wiring = platform.create_session(
+            bindings_for(deployed, names), "US-East",
+            RateContext(num_participants=3),
+        )
+        flow = wiring.video_flow("US-East", StreamLayer.HIGH)
+        assert flow.startswith(wiring.session_id)
+        assert flow.endswith("v-high")
+        wiring.close()
+
+
+class TestEndpointGeography:
+    def test_webex_relays_in_us_east_even_for_eu(self):
+        testbed = Testbed(TestbedConfig(seed=1))
+        testbed.deploy_group("Europe")
+        platform = testbed.platform("webex")
+        names = ["CH", "FR", "DE"]
+        wiring = platform.create_session(
+            bindings_for(testbed, names), "CH", RateContext(num_participants=3)
+        )
+        relay = wiring.relay_hosts[0]
+        assert relay.location.lon < -60  # in the US
+        wiring.close()
+
+    def test_meet_eu_clients_stay_in_eu(self):
+        testbed = Testbed(TestbedConfig(seed=1))
+        testbed.deploy_group("Europe")
+        platform = testbed.platform("meet")
+        names = ["CH", "FR", "DE"]
+        wiring = platform.create_session(
+            bindings_for(testbed, names), "CH", RateContext(num_participants=3)
+        )
+        for relay in wiring.relay_hosts:
+            assert relay.location.lon > -30  # in Europe
+        wiring.close()
+
+    def test_zoom_us_host_gets_nearby_relay(self, deployed):
+        platform = deployed.platform("zoom")
+        names = ["US-East", "US-East2", "US-West"]
+        wiring = platform.create_session(
+            bindings_for(deployed, names), "US-East",
+            RateContext(num_participants=3),
+        )
+        relay = wiring.relay_hosts[0]
+        east = deployed.clients["US-East"].host.location
+        assert relay.location.distance_km(east) < 500
+        wiring.close()

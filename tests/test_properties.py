@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.cdf import Cdf
+from repro.core.lag import LagDetector
+from repro.media.transport import Reassembler, fragment_frame
+from repro.media.video_codec import RateController, VideoCodecConfig
+from repro.net.shaper import TokenBucketShaper
+from repro.net.simulator import Simulator
+from repro.qoe.psnr import psnr
+from repro.qoe.ssim import ssim
+from repro.units import transmission_delay
+
+
+class FakeFrame:
+    def __init__(self, index, size):
+        self.index = index
+        self.size_bytes = size
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+def test_simulator_executes_all_events_in_order(delays):
+    simulator = Simulator()
+    executed = []
+    for delay in delays:
+        simulator.schedule(delay, executed.append, delay)
+    simulator.run()
+    assert executed == sorted(delays)
+    assert len(executed) == len(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=10),
+            st.integers(min_value=40, max_value=1500),
+        ),
+        min_size=1,
+        max_size=200,
+    ),
+    st.floats(min_value=1e4, max_value=1e7),
+)
+def test_shaper_releases_monotonic_and_rate_bounded(arrivals, rate):
+    """Accepted packets leave in order and never exceed the line rate."""
+    shaper = TokenBucketShaper(rate_bps=rate, burst_bytes=4000)
+    arrivals = sorted(arrivals)
+    last_release = -np.inf
+    accepted_bits = 0.0
+    first_release = None
+    for now, size in arrivals:
+        release = shaper.submit(now, size)
+        if release is None:
+            continue
+        assert release >= now
+        assert release >= last_release - 1e-9
+        last_release = max(last_release, release)
+        accepted_bits += size * 8
+        if first_release is None:
+            first_release = release
+    if first_release is not None and last_release > first_release:
+        # Average accepted rate cannot exceed line rate + one burst.
+        span = last_release - first_release
+        assert accepted_bits <= rate * span + 8 * 4000 + 1500 * 8
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=100_000),
+    st.integers(min_value=1, max_value=1400),
+)
+def test_fragmentation_conserves_bytes(size, mtu):
+    fragments = fragment_frame(FakeFrame(0, size), size, 0, mtu=mtu)
+    total = sum(f.payload_bytes for f in fragments)
+    assert total >= size
+    assert total <= size + len(fragments)  # only padding of empty frames
+    assert all(f.fragment_count == len(fragments) for f in fragments)
+    assert [f.fragment_index for f in fragments] == list(range(len(fragments)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=60),
+    st.data(),
+)
+def test_reassembler_delivers_each_complete_frame_once(frame_sizes, data):
+    delivered = []
+    reassembler = Reassembler(on_frame=delivered.append)
+    frames = []
+    for index, kilobytes in enumerate(frame_sizes):
+        size = kilobytes * 400 + 100
+        frame = FakeFrame(index, size)
+        frames.append(frame)
+        fragments = fragment_frame(frame, size, index, mtu=500)
+        order = data.draw(st.permutations(range(len(fragments))))
+        for i in order:
+            reassembler.push(fragments[i])
+    assert delivered == frames
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=100), min_size=1, max_size=100
+    )
+)
+def test_cdf_is_monotonic_and_normalised(samples):
+    cdf = Cdf.from_samples(samples)
+    xs = sorted(samples)
+    previous = 0.0
+    for x in xs:
+        value = cdf.evaluate(x)
+        assert value >= previous - 1e-12
+        previous = value
+    assert cdf.evaluate(max(xs)) == 1.0
+    assert cdf.quantile(0.0) == min(xs)
+    assert cdf.quantile(1.0) == max(xs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=60),
+            st.integers(min_value=1, max_value=1500),
+        ),
+        max_size=100,
+    )
+)
+def test_lag_detector_onsets_are_spaced_by_quiescence(series):
+    detector = LagDetector()
+    onsets = detector.burst_onsets(sorted(series))
+    for earlier, later in zip(onsets, onsets[1:]):
+        assert later - earlier > detector.quiescent_period_s
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.floats(min_value=1e4, max_value=1e7),
+)
+def test_rate_controller_q_stays_in_bounds(seed, target):
+    config = VideoCodecConfig()
+    controller = RateController(config, target_bps=target, fps=15)
+    rng = np.random.default_rng(seed)
+    for _ in range(50):
+        bits = float(rng.uniform(10, 1e6))
+        controller.update(bits, keyframe=bool(rng.integers(0, 2)))
+        assert config.q_min <= controller.q_step <= config.q_max
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_psnr_ssim_bounded_and_reflexive(seed):
+    rng = np.random.default_rng(seed)
+    frame = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+    assert psnr(frame, frame) == 60.0
+    assert ssim(frame, frame) >= 0.99
+    other = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+    assert psnr(frame, other) <= 60.0
+    assert -1.0 <= ssim(frame, other) <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=10_000),
+    st.floats(min_value=1e3, max_value=1e9),
+)
+def test_transmission_delay_positive_and_linear(size, rate):
+    delay = transmission_delay(size, rate)
+    assert delay > 0
+    assert transmission_delay(2 * size, rate) == 2 * delay

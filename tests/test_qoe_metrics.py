@@ -1,0 +1,170 @@
+"""Full-reference QoE metrics: PSNR, SSIM, VIFp, MOS bands, VQMT facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.media.feeds import HighMotionFeed, LowMotionFeed
+from repro.media.frames import FrameSpec
+from repro.qoe import (
+    mos_from_psnr,
+    mos_from_ssim,
+    psnr,
+    score_video,
+    ssim,
+    vifp,
+)
+from repro.qoe.mos import mos_downgrade
+from repro.qoe.psnr import PSNR_CAP_DB
+from repro.qoe.vqmt import VideoQualityReport
+
+
+def noisy(frame, sigma, seed=0):
+    rng = np.random.default_rng(seed)
+    out = frame.astype(np.float64) + rng.normal(0, sigma, frame.shape)
+    return np.clip(out, 0, 255).astype(np.uint8)
+
+
+@pytest.fixture
+def reference(small_spec):
+    return LowMotionFeed(FrameSpec(64, 64, 10)).frame(5)
+
+
+class TestPsnr:
+    def test_identical_capped(self, reference):
+        assert psnr(reference, reference) == PSNR_CAP_DB
+
+    def test_known_mse(self):
+        a = np.zeros((32, 32), dtype=np.uint8)
+        b = np.full((32, 32), 10, dtype=np.uint8)
+        # MSE = 100 -> PSNR = 10*log10(255^2/100) = 28.13.
+        assert psnr(a, b) == pytest.approx(28.13, abs=0.01)
+
+    def test_monotonic_in_noise(self, reference):
+        assert psnr(reference, noisy(reference, 2)) > psnr(
+            reference, noisy(reference, 20)
+        )
+
+    def test_shape_mismatch(self, reference):
+        with pytest.raises(AnalysisError):
+            psnr(reference, reference[:-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            psnr(np.zeros((0, 0)), np.zeros((0, 0)))
+
+
+class TestSsim:
+    def test_identical_is_one(self, reference):
+        assert ssim(reference, reference) == pytest.approx(1.0)
+
+    def test_range(self, reference):
+        value = ssim(reference, noisy(reference, 30))
+        assert -1.0 <= value <= 1.0
+
+    def test_monotonic_in_noise(self, reference):
+        assert ssim(reference, noisy(reference, 2)) > ssim(
+            reference, noisy(reference, 30)
+        )
+
+    def test_constant_shift_barely_matters_vs_noise(self, reference):
+        shifted = np.clip(reference.astype(int) + 5, 0, 255).astype(np.uint8)
+        assert ssim(reference, shifted) > ssim(reference, noisy(reference, 25))
+
+    def test_small_frames_rejected(self):
+        with pytest.raises(AnalysisError):
+            ssim(np.zeros((4, 4)), np.zeros((4, 4)))
+
+
+class TestVifp:
+    def test_identical_is_one(self, reference):
+        assert vifp(reference, reference) == pytest.approx(1.0, abs=0.01)
+
+    def test_monotonic_in_noise(self, reference):
+        assert vifp(reference, noisy(reference, 3)) > vifp(
+            reference, noisy(reference, 30)
+        )
+
+    def test_blur_reduces_information(self, reference):
+        from scipy import ndimage
+
+        blurred = ndimage.gaussian_filter(
+            reference.astype(np.float64), 2.0
+        ).astype(np.uint8)
+        assert vifp(reference, blurred) < 0.8
+
+    def test_flat_reference_convention(self):
+        flat = np.full((64, 64), 100, dtype=np.uint8)
+        assert vifp(flat, flat) == 1.0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(AnalysisError):
+            vifp(np.zeros((16, 16)), np.zeros((16, 16)))
+
+
+class TestMosBands:
+    def test_psnr_bands(self):
+        assert mos_from_psnr(40.0) == 5
+        assert mos_from_psnr(33.0) == 4
+        assert mos_from_psnr(27.0) == 3
+        assert mos_from_psnr(22.0) == 2
+        assert mos_from_psnr(10.0) == 1
+
+    def test_ssim_bands(self):
+        assert mos_from_ssim(0.995) == 5
+        assert mos_from_ssim(0.96) == 4
+        assert mos_from_ssim(0.90) == 3
+        assert mos_from_ssim(0.6) == 2
+        assert mos_from_ssim(0.2) == 1
+
+    def test_nan_rejected(self):
+        with pytest.raises(AnalysisError):
+            mos_from_psnr(float("nan"))
+
+    def test_downgrade(self):
+        assert mos_downgrade(5, 3) == 2
+        assert mos_downgrade(3, 5) == 0
+
+    def test_downgrade_validates(self):
+        with pytest.raises(AnalysisError):
+            mos_downgrade(6, 3)
+
+
+class TestScoreVideo:
+    def test_full_report(self, small_spec):
+        feed = HighMotionFeed(small_spec)
+        reference = feed.frames(5)
+        degraded = [noisy(f, 8, seed=i) for i, f in enumerate(reference)]
+        report = score_video(reference, degraded)
+        assert report.frame_count == 5
+        assert 20 < report.mean_psnr < 45
+        assert 0 < report.mean_ssim <= 1
+        assert 0 < report.mean_vifp <= 1.1
+
+    def test_vifp_optional(self, small_spec):
+        feed = HighMotionFeed(small_spec)
+        frames = feed.frames(3)
+        report = score_video(frames, frames, compute_vifp=False)
+        assert report.vifp_series == []
+        with pytest.raises(AnalysisError):
+            _ = report.mean_vifp  # empty series has no mean
+
+    def test_length_mismatch(self, small_spec):
+        feed = HighMotionFeed(small_spec)
+        with pytest.raises(AnalysisError):
+            score_video(feed.frames(3), feed.frames(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            score_video([], [])
+
+    def test_as_dict(self, small_spec):
+        feed = HighMotionFeed(small_spec)
+        frames = feed.frames(2)
+        data = score_video(frames, frames).as_dict()
+        assert set(data) == {"psnr", "ssim", "vifp", "frames"}
+
+    def test_report_requires_frames(self):
+        report = VideoQualityReport()
+        with pytest.raises(AnalysisError):
+            _ = report.mean_psnr

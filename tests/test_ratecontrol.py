@@ -1,0 +1,122 @@
+"""Rate contexts and adaptation policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platforms.ratecontrol import (
+    AdaptationPolicy,
+    RateContext,
+    SenderRateState,
+)
+
+
+class TestRateContext:
+    def test_defaults(self):
+        context = RateContext()
+        assert context.num_participants == 2
+
+    def test_min_participants(self):
+        with pytest.raises(ConfigurationError):
+            RateContext(num_participants=1)
+
+    def test_motion_validated(self):
+        with pytest.raises(ConfigurationError):
+            RateContext(motion="medium")
+
+    def test_device_validated(self):
+        with pytest.raises(ConfigurationError):
+            RateContext(device="toaster")
+
+
+class TestPolicyValidation:
+    def test_decrease_factor_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AdaptationPolicy(decrease_factor=0.0)
+
+    def test_increase_factor_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AdaptationPolicy(increase_factor=0.9)
+
+    def test_floor_positive(self):
+        with pytest.raises(ConfigurationError):
+            AdaptationPolicy(floor_bps=0)
+
+    def test_patience_positive(self):
+        with pytest.raises(ConfigurationError):
+            AdaptationPolicy(patience_reports=0)
+
+
+class TestSenderRateState:
+    def make(self, **policy_kwargs):
+        policy = AdaptationPolicy(
+            loss_threshold=0.05,
+            recovery_threshold=0.01,
+            decrease_factor=0.5,
+            increase_factor=1.1,
+            floor_bps=100_000,
+            patience_reports=2,
+            **policy_kwargs,
+        )
+        return SenderRateState(base_bps=1_000_000, policy=policy)
+
+    def test_no_change_below_threshold(self):
+        state = self.make()
+        assert state.on_feedback(0.02) is None
+        assert state.current_bps == 1_000_000
+
+    def test_patience_before_decrease(self):
+        state = self.make()
+        assert state.on_feedback(0.2) is None  # 1st congested report
+        assert state.on_feedback(0.2) == pytest.approx(500_000)
+
+    def test_floor_respected(self):
+        state = self.make()
+        for _ in range(40):
+            state.on_feedback(0.5)
+        assert state.current_bps == 100_000
+
+    def test_recovery_climbs_back(self):
+        state = self.make()
+        state.on_feedback(0.5)
+        state.on_feedback(0.5)
+        assert state.current_bps == 500_000
+        new = state.on_feedback(0.0)
+        assert new == pytest.approx(550_000)
+
+    def test_recovery_capped_at_base(self):
+        state = self.make()
+        state.on_feedback(0.5)
+        state.on_feedback(0.5)
+        for _ in range(50):
+            state.on_feedback(0.0)
+        assert state.current_bps == 1_000_000
+
+    def test_per_reporter_patience_not_reset_by_others(self):
+        """A healthy receiver must not mask a congested one."""
+        state = self.make()
+        assert state.on_feedback(0.2, reporter="lossy") is None
+        # Interleaved clean report from another receiver.
+        state.on_feedback(0.0, reporter="clean")
+        assert state.on_feedback(0.2, reporter="lossy") is not None
+
+    def test_recovery_blocked_while_any_reporter_lossy(self):
+        state = self.make()
+        state.on_feedback(0.5, reporter="lossy")
+        state.on_feedback(0.5, reporter="lossy")
+        assert state.current_bps == 500_000
+        # The clean receiver reports, but the lossy one's last report
+        # is still bad: no recovery.
+        assert state.on_feedback(0.0, reporter="clean") is None
+
+    def test_loss_fraction_validated(self):
+        state = self.make()
+        with pytest.raises(ConfigurationError):
+            state.on_feedback(1.5)
+
+    def test_counters(self):
+        state = self.make()
+        state.on_feedback(0.5)
+        state.on_feedback(0.5)
+        state.on_feedback(0.0)
+        assert state.decreases == 1
+        assert state.increases == 1

@@ -1,0 +1,94 @@
+"""Region registry (Table 3) behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.regions import (
+    GROUP_EUROPE,
+    GROUP_US,
+    Region,
+    RegionRegistry,
+    TABLE3_REGIONS,
+    default_registry,
+)
+from repro.net.geo import GeoPoint
+
+
+class TestTable3:
+    def test_twelve_regions(self):
+        assert len(TABLE3_REGIONS) == 12
+
+    def test_seven_us_vms(self, registry):
+        assert len(registry.vm_names(GROUP_US)) == 7
+
+    def test_seven_europe_vms(self, registry):
+        assert len(registry.vm_names(GROUP_EUROPE)) == 7
+
+    def test_us_east_has_two_vms(self, registry):
+        assert registry.get("US-East").vm_count == 2
+
+    def test_us_west_has_two_vms(self, registry):
+        assert registry.get("US-West").vm_count == 2
+
+    def test_duplicate_vm_names_suffix(self, registry):
+        names = registry.vm_names(GROUP_US)
+        assert "US-East" in names and "US-East2" in names
+
+    def test_europe_labels_match_paper(self, registry):
+        names = set(registry.vm_names(GROUP_EUROPE))
+        assert names == {"CH", "DE", "IE", "NL", "FR", "UK-South", "UK-West"}
+
+
+class TestRegistryLookups:
+    def test_get_unknown_raises(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.get("Atlantis")
+
+    def test_contains(self, registry):
+        assert "CH" in registry
+        assert "Atlantis" not in registry
+
+    def test_region_of_vm_strips_suffix(self, registry):
+        assert registry.region_of_vm("US-West2").name == "US-West"
+
+    def test_region_of_vm_plain(self, registry):
+        assert registry.region_of_vm("FR").name == "FR"
+
+    def test_len_counts_regions(self, registry):
+        assert len(registry) == 12
+
+    def test_site_lookup(self, registry):
+        point = registry.site("residential-us-east")
+        assert point.lat > 0
+
+    def test_unknown_site_raises(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.site("mars-base")
+
+    def test_site_names_sorted(self, registry):
+        names = registry.site_names()
+        assert names == sorted(names)
+        assert "zoom-us-east" in names
+
+    def test_default_registry_is_cached(self):
+        assert default_registry() is default_registry()
+
+
+class TestRegionValidation:
+    def test_zero_vm_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Region("x", GeoPoint("x", 0, 0), GROUP_US, vm_count=0)
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Region("x", GeoPoint("x", 0, 0), "Mars")
+
+    def test_duplicate_region_names_rejected(self):
+        region = Region("dup", GeoPoint("d", 0, 0), GROUP_US)
+        with pytest.raises(ConfigurationError):
+            RegionRegistry(regions=(region, region))
+
+    def test_platform_sites_cover_both_continents(self, registry):
+        meet_sites = [s for s in registry.site_names() if s.startswith("meet-")]
+        assert any("eu" in s for s in meet_sites)
+        assert any("us" in s for s in meet_sites)

@@ -1,0 +1,170 @@
+"""ServiceRelay behaviour: forwarding, thinning, feedback, probes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlatformError
+from repro.net.packet import Packet, PacketKind
+from repro.platforms.base import RelayTiming, ServiceRelay
+
+
+@pytest.fixture
+def relay_setup(network, registry):
+    relay_host = network.add_host(
+        "relay", registry.site("zoom-us-east"), tier="infra"
+    )
+    sender = network.add_host("sender", registry.get("US-East").location)
+    receiver = network.add_host("receiver", registry.get("US-West").location)
+    rng = np.random.default_rng(0)
+    relay = ServiceRelay.install(relay_host, 8801, RelayTiming(), rng)
+    inbox = []
+    receiver.bind(40404, lambda p, h: inbox.append(p))
+    sender.bind(40404, lambda p, h: inbox.append(("sender", p)))
+    return network, relay, sender, receiver, inbox
+
+
+def media_packet(sender, relay, flow="s|a|v-high", size=1000):
+    return Packet(
+        src=sender.address(40404),
+        dst=relay.address,
+        payload_bytes=size,
+        kind=PacketKind.MEDIA_VIDEO,
+        flow_id=flow,
+    )
+
+
+class TestForwarding:
+    def test_routed_flow_forwarded(self, relay_setup):
+        network, relay, sender, receiver, inbox = relay_setup
+        relay.register_route("s|a|v-high", [receiver.address(40404)])
+        sender.send(media_packet(sender, relay))
+        network.simulator.run()
+        assert len(inbox) == 1
+        assert relay.packets_forwarded == 1
+
+    def test_unrouted_flow_dropped(self, relay_setup):
+        network, relay, sender, receiver, inbox = relay_setup
+        sender.send(media_packet(sender, relay, flow="unknown"))
+        network.simulator.run()
+        assert inbox == []
+
+    def test_never_reflects_to_origin(self, relay_setup):
+        network, relay, sender, receiver, inbox = relay_setup
+        relay.register_route(
+            "s|a|v-high", [sender.address(40404), receiver.address(40404)]
+        )
+        sender.send(media_packet(sender, relay))
+        network.simulator.run()
+        assert len(inbox) == 1  # only the receiver copy
+
+    def test_forwarding_adds_processing_delay(self, relay_setup):
+        network, relay, sender, receiver, inbox = relay_setup
+        relay.register_route("s|a|v-high", [receiver.address(40404)])
+        sender.send(media_packet(sender, relay))
+        network.simulator.run()
+        direct = network.one_way_delay(sender, relay.host) + network.one_way_delay(
+            relay.host, receiver
+        )
+        assert network.simulator.now > direct + relay.timing.base_delay_s * 0.9
+
+    def test_session_load_inflates_delay(self, relay_setup):
+        network, relay, sender, receiver, inbox = relay_setup
+        relay.register_route("s|a|v-high", [receiver.address(40404)])
+        relay.set_session_load("s", 0.050)
+        times = []
+        receiver.unbind(40404)
+        receiver.bind(40404, lambda p, h: times.append(network.simulator.now))
+        sender.send(media_packet(sender, relay))
+        network.simulator.run()
+        assert times[0] > 0.050
+
+    def test_thinned_route_forwards_fraction(self, relay_setup):
+        network, relay, sender, receiver, inbox = relay_setup
+        relay.register_route("s|a|v-high", [(receiver.address(40404), 0.5)])
+        for _ in range(300):
+            sender.send(media_packet(sender, relay))
+        network.simulator.run()
+        assert 90 < len(inbox) < 210
+
+    def test_invalid_fraction_rejected(self, relay_setup):
+        _, relay, _, receiver, _ = relay_setup
+        with pytest.raises(PlatformError):
+            relay.register_route("f", [(receiver.address(40404), 1.5)])
+
+
+class TestProbesAndFeedback:
+    def test_probe_answered(self, relay_setup):
+        network, relay, sender, receiver, inbox = relay_setup
+        replies = []
+        probe_src = sender.bind_ephemeral(lambda p, h: replies.append(p))
+        sender.send(
+            Packet(
+                src=probe_src,
+                dst=relay.address,
+                payload_bytes=20,
+                kind=PacketKind.PROBE,
+            )
+        )
+        network.simulator.run()
+        assert len(replies) == 1
+        assert replies[0].kind is PacketKind.PROBE_REPLY
+        assert relay.probes_answered == 1
+
+    def test_feedback_routed_to_sender(self, relay_setup):
+        network, relay, sender, receiver, inbox = relay_setup
+        relay.register_feedback_route("s|a|v-high", sender.address(40404))
+        receiver.send(
+            Packet(
+                src=receiver.address(40404),
+                dst=relay.address,
+                payload_bytes=64,
+                kind=PacketKind.FEEDBACK,
+                flow_id="s|a|v-high",
+                metadata={"loss": 0.3},
+            )
+        )
+        network.simulator.run()
+        assert len(inbox) == 1
+        tag, packet = inbox[0]
+        assert tag == "sender"
+        assert packet.metadata["loss"] == 0.3
+
+    def test_signaling_absorbed(self, relay_setup):
+        network, relay, sender, receiver, inbox = relay_setup
+        sender.send(
+            Packet(
+                src=sender.address(40404),
+                dst=relay.address,
+                payload_bytes=120,
+                kind=PacketKind.SIGNALING,
+                flow_id="s|a|join",
+            )
+        )
+        network.simulator.run()
+        assert inbox == []
+
+
+class TestLifecycle:
+    def test_install_is_idempotent(self, relay_setup):
+        _, relay, _, _, _ = relay_setup
+        again = ServiceRelay.install(
+            relay.host, 8801, RelayTiming(), np.random.default_rng(0)
+        )
+        assert again is relay
+
+    def test_install_conflicting_port_rejected(self, relay_setup):
+        _, relay, _, _, _ = relay_setup
+        with pytest.raises(PlatformError):
+            ServiceRelay.install(
+                relay.host, 9000, RelayTiming(), np.random.default_rng(0)
+            )
+
+    def test_unregister_session_clears_routes(self, relay_setup):
+        network, relay, sender, receiver, inbox = relay_setup
+        relay.register_route("s1|a|v-high", [receiver.address(40404)])
+        relay.register_route("s2|a|v-high", [receiver.address(40404)])
+        relay.unregister_session("s1")
+        sender.send(media_packet(sender, relay, flow="s1|a|v-high"))
+        sender.send(media_packet(sender, relay, flow="s2|a|v-high"))
+        network.simulator.run()
+        assert len(inbox) == 1

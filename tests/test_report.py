@@ -1,0 +1,48 @@
+"""Markdown report assembly."""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+from repro.errors import AnalysisError
+
+
+class TestReport:
+    def test_requires_title(self):
+        with pytest.raises(AnalysisError):
+            ExperimentReport("")
+
+    def test_table_section(self):
+        report = ExperimentReport("Repro run")
+        report.add_table(
+            "Figure X", ["Platform", "Lag"], [["zoom", 30], ["meet", 55]],
+            notes=["bench scale"],
+        )
+        rendered = report.render()
+        assert "# Repro run" in rendered
+        assert "## Figure X" in rendered
+        assert "zoom" in rendered
+        assert "- bench scale" in rendered
+
+    def test_cdf_summary_section(self):
+        report = ExperimentReport("Repro run")
+        report.add_cdf_summary(
+            "Lag CDFs", {"US-West": [40, 42, 44, 46], "US-East": [14, 15, 16]}
+        )
+        rendered = report.render()
+        assert "median (ms)" in rendered
+        assert "US-West" in rendered
+
+    def test_sections_ordered(self):
+        report = ExperimentReport("r")
+        report.add_section("A", "one")
+        report.add_section("B", "two")
+        rendered = report.render()
+        assert rendered.index("## A") < rendered.index("## B")
+        assert len(report) == 2
+
+    def test_save(self, tmp_path):
+        report = ExperimentReport("r")
+        report.add_section("A", "body")
+        path = tmp_path / "report.md"
+        report.save(str(path))
+        assert "## A" in path.read_text()

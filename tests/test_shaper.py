@@ -1,0 +1,106 @@
+"""Token-bucket ingress shaper (the tc/ifb model)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.shaper import TokenBucketShaper
+from repro.units import kbps, mbps
+
+
+class TestConstruction:
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucketShaper(rate_bps=0)
+
+    def test_rejects_zero_burst(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucketShaper(rate_bps=1e6, burst_bytes=0)
+
+    def test_burst_seconds(self):
+        shaper = TokenBucketShaper(rate_bps=1e6, burst_bytes=12_500)
+        assert shaper.burst_seconds == pytest.approx(0.1)
+
+
+class TestPassThrough:
+    def test_within_burst_released_immediately(self):
+        shaper = TokenBucketShaper(rate_bps=mbps(1), burst_bytes=16_000)
+        release = shaper.submit(now=1.0, wire_bytes=1000)
+        assert release == pytest.approx(1.0)
+
+    def test_idle_periods_restore_burst(self):
+        shaper = TokenBucketShaper(rate_bps=kbps(100), burst_bytes=4000)
+        assert shaper.submit(0.0, 4000) is not None
+        # Long idle -> bucket refills completely.
+        release = shaper.submit(100.0, 4000)
+        assert release == pytest.approx(100.0)
+
+
+class TestQueueing:
+    def test_sustained_overload_delays(self):
+        shaper = TokenBucketShaper(rate_bps=kbps(100), burst_bytes=1000)
+        releases = []
+        for i in range(10):
+            release = shaper.submit(0.0, 1000)
+            if release is not None:
+                releases.append(release)
+        assert len(releases) >= 2
+        assert releases == sorted(releases)
+
+    def test_tail_drop_when_queue_full(self):
+        shaper = TokenBucketShaper(
+            rate_bps=kbps(100), burst_bytes=1000, max_queue_delay_s=0.1
+        )
+        outcomes = [shaper.submit(0.0, 1000) for _ in range(50)]
+        assert any(o is None for o in outcomes)
+        assert shaper.stats.dropped > 0
+
+    def test_drop_decision_size_unbiased(self):
+        """Once the queue is full, small packets are dropped too."""
+        shaper = TokenBucketShaper(
+            rate_bps=kbps(100), burst_bytes=1000, max_queue_delay_s=0.05
+        )
+        # Saturate with big packets.
+        for _ in range(100):
+            shaper.submit(0.0, 1500)
+        assert shaper.submit(0.0, 50) is None
+
+    def test_output_rate_close_to_cap(self):
+        shaper = TokenBucketShaper(rate_bps=mbps(1), burst_bytes=8000)
+        accepted_bytes = 0
+        last_release = 0.0
+        # Offer 2 Mbps for one second in 1 ms steps.
+        for step in range(1000):
+            now = step / 1000.0
+            release = shaper.submit(now, 250)
+            if release is not None:
+                accepted_bytes += 250
+                last_release = max(last_release, release)
+        achieved = accepted_bytes * 8 / max(last_release, 1.0)
+        assert achieved <= 1.3e6
+        assert achieved >= 0.7e6
+
+
+class TestStats:
+    def test_counters_add_up(self):
+        shaper = TokenBucketShaper(
+            rate_bps=kbps(100), burst_bytes=1000, max_queue_delay_s=0.05
+        )
+        total = 40
+        for _ in range(total):
+            shaper.submit(0.0, 1000)
+        assert shaper.stats.accepted + shaper.stats.dropped == total
+
+    def test_drop_fraction(self):
+        shaper = TokenBucketShaper(
+            rate_bps=kbps(100), burst_bytes=1000, max_queue_delay_s=0.0
+        )
+        shaper.submit(0.0, 1000)
+        shaper.submit(0.0, 1000)
+        assert 0.0 <= shaper.stats.drop_fraction <= 1.0
+
+    def test_reset_clears_state(self):
+        shaper = TokenBucketShaper(rate_bps=kbps(100), burst_bytes=1000)
+        shaper.submit(0.0, 1000)
+        shaper.reset()
+        assert shaper.stats.accepted == 0
+        assert shaper.submit(0.0, 1000) == pytest.approx(0.0)

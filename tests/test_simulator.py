@@ -1,0 +1,124 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(2.0, order.append, "b")
+        simulator.schedule(1.0, order.append, "a")
+        simulator.schedule(3.0, order.append, "c")
+        simulator.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        simulator = Simulator()
+        order = []
+        for tag in "abc":
+            simulator.schedule(1.0, order.append, tag)
+        simulator.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        simulator = Simulator()
+        times = []
+        simulator.schedule(0.5, lambda: times.append(simulator.now))
+        simulator.schedule(1.5, lambda: times.append(simulator.now))
+        simulator.run()
+        assert times == [0.5, 1.5]
+
+    def test_negative_delay_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(SimulationError):
+            simulator.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(0.5, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        simulator = Simulator()
+        seen = []
+
+        def tick(n):
+            seen.append(n)
+            if n < 4:
+                simulator.schedule(1.0, tick, n + 1)
+
+        simulator.schedule(0.0, tick, 0)
+        simulator.run()
+        assert seen == [0, 1, 2, 3, 4]
+        assert simulator.now == pytest.approx(4.0)
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule(1.0, seen.append, 1)
+        simulator.schedule(2.0, seen.append, 2)
+        simulator.run(until=1.5)
+        assert seen == [1]
+        assert simulator.now == pytest.approx(1.5)
+
+    def test_boundary_inclusive(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule(1.0, seen.append, 1)
+        simulator.run(until=1.0)
+        assert seen == [1]
+
+    def test_run_for(self):
+        simulator = Simulator()
+        simulator.run_for(5.0)
+        assert simulator.now == pytest.approx(5.0)
+
+    def test_run_for_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().run_for(-1.0)
+
+    def test_remaining_events_survive(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule(2.0, seen.append, 2)
+        simulator.run(until=1.0)
+        assert simulator.pending_events == 1
+        simulator.run()
+        assert seen == [2]
+
+
+class TestSafety:
+    def test_not_reentrant(self):
+        simulator = Simulator()
+
+        def evil():
+            simulator.run()
+
+        simulator.schedule(0.0, evil)
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_event_storm_guard(self):
+        simulator = Simulator()
+
+        def storm():
+            simulator.schedule(0.0, storm)
+
+        simulator.schedule(0.0, storm)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=1000)
+
+    def test_processed_counter(self):
+        simulator = Simulator()
+        for _ in range(5):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        assert simulator.events_processed == 5

@@ -1,0 +1,150 @@
+"""Fragmentation, reassembly, FEC tolerance, loss detection."""
+
+import pytest
+
+from repro.errors import MediaError
+from repro.media.transport import (
+    ChunkFragment,
+    Reassembler,
+    fragment_frame,
+)
+
+
+class FakeFrame:
+    def __init__(self, index, size):
+        self.index = index
+        self.size_bytes = size
+
+
+class TestFragmentation:
+    def test_small_frame_single_fragment(self):
+        fragments = fragment_frame(FakeFrame(0, 100), 100, 0, mtu=1200)
+        assert len(fragments) == 1
+        assert fragments[0].fragment_count == 1
+
+    def test_sizes_sum(self):
+        fragments = fragment_frame(FakeFrame(0, 5000), 5000, 0, mtu=1200)
+        assert sum(f.payload_bytes for f in fragments) >= 5000
+        assert len(fragments) == 5
+
+    def test_zero_byte_frame_still_one_fragment(self):
+        fragments = fragment_frame(FakeFrame(0, 0), 0, 0)
+        assert len(fragments) == 1
+        assert fragments[0].payload_bytes >= 1
+
+    def test_fragment_indices(self):
+        fragments = fragment_frame(FakeFrame(3, 3000), 3000, 3, mtu=1000)
+        assert [f.fragment_index for f in fragments] == [0, 1, 2]
+        assert all(f.frame_index == 3 for f in fragments)
+
+    def test_shared_frame_reference(self):
+        frame = FakeFrame(0, 5000)
+        fragments = fragment_frame(frame, 5000, 0)
+        assert all(f.frame is frame for f in fragments)
+
+    def test_bad_mtu(self):
+        with pytest.raises(MediaError):
+            fragment_frame(FakeFrame(0, 100), 100, 0, mtu=0)
+
+    def test_negative_size(self):
+        with pytest.raises(MediaError):
+            fragment_frame(FakeFrame(0, -1), -1, 0)
+
+
+def push_frame(reassembler, index, size=3000, skip=(), mtu=1000):
+    frame = FakeFrame(index, size)
+    for fragment in fragment_frame(frame, size, index, mtu=mtu):
+        if fragment.fragment_index not in skip:
+            reassembler.push(fragment)
+    return frame
+
+
+class TestReassembly:
+    def test_complete_frame_delivered(self):
+        delivered = []
+        reassembler = Reassembler(on_frame=delivered.append)
+        frame = push_frame(reassembler, 0)
+        assert delivered == [frame]
+
+    def test_incomplete_frame_held(self):
+        delivered = []
+        reassembler = Reassembler(on_frame=delivered.append)
+        push_frame(reassembler, 0, skip={1})
+        assert delivered == []
+
+    def test_out_of_order_fragments(self):
+        delivered = []
+        reassembler = Reassembler(on_frame=delivered.append)
+        frame = FakeFrame(0, 3000)
+        fragments = fragment_frame(frame, 3000, 0, mtu=1000)
+        for fragment in reversed(fragments):
+            reassembler.push(fragment)
+        assert delivered == [frame]
+
+    def test_loss_detected_when_later_frame_completes(self):
+        delivered, lost = [], []
+        reassembler = Reassembler(
+            on_frame=delivered.append, on_lost=lost.append, reorder_window=1
+        )
+        push_frame(reassembler, 0, skip={0})
+        push_frame(reassembler, 1)
+        push_frame(reassembler, 2)
+        push_frame(reassembler, 3)
+        assert 0 in lost
+        assert reassembler.frames_lost == 1
+
+    def test_reorder_window_delays_loss(self):
+        lost = []
+        reassembler = Reassembler(
+            on_frame=lambda f: None, on_lost=lost.append, reorder_window=5
+        )
+        push_frame(reassembler, 0, skip={0})
+        push_frame(reassembler, 1)
+        assert lost == []
+
+    def test_flush_abandons_pending(self):
+        lost = []
+        reassembler = Reassembler(on_frame=lambda f: None, on_lost=lost.append)
+        push_frame(reassembler, 0, skip={0})
+        reassembler.flush()
+        assert lost == [0]
+
+    def test_counters(self):
+        reassembler = Reassembler(on_frame=lambda f: None)
+        push_frame(reassembler, 0)
+        assert reassembler.frames_completed == 1
+        assert reassembler.fragments_received == 3
+
+
+class TestFecTolerance:
+    def test_tolerates_small_loss(self):
+        delivered = []
+        reassembler = Reassembler(on_frame=delivered.append, fec_tolerance=0.2)
+        # 10 fragments, 2 lost = 20% <= tolerance.
+        push_frame(reassembler, 0, size=10_000, skip={3, 7})
+        assert len(delivered) == 1
+
+    def test_rejects_heavy_loss(self):
+        delivered = []
+        reassembler = Reassembler(on_frame=delivered.append, fec_tolerance=0.2)
+        push_frame(reassembler, 0, size=10_000, skip={1, 2, 3, 4})
+        assert delivered == []
+
+    def test_no_duplicate_delivery(self):
+        delivered = []
+        reassembler = Reassembler(on_frame=delivered.append, fec_tolerance=0.5)
+        frame = FakeFrame(0, 3000)
+        fragments = fragment_frame(frame, 3000, 0, mtu=1000)
+        for fragment in fragments:
+            reassembler.push(fragment)
+        # Late duplicate fragment must not re-deliver.
+        reassembler.push(fragments[0])
+        assert len(delivered) == 1
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(MediaError):
+            Reassembler(on_frame=lambda f: None, fec_tolerance=1.0)
+
+    def test_invalid_reorder_window(self):
+        with pytest.raises(MediaError):
+            Reassembler(on_frame=lambda f: None, reorder_window=-1)

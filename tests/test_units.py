@@ -1,0 +1,81 @@
+"""Unit conversion helpers."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+class TestRates:
+    def test_kbps(self):
+        assert units.kbps(500) == 500_000.0
+
+    def test_mbps(self):
+        assert units.mbps(1.5) == 1_500_000.0
+
+    def test_gbps(self):
+        assert units.gbps(2) == 2e9
+
+    def test_to_kbps_roundtrip(self):
+        assert units.to_kbps(units.kbps(90)) == pytest.approx(90)
+
+    def test_to_mbps_roundtrip(self):
+        assert units.to_mbps(units.mbps(2.6)) == pytest.approx(2.6)
+
+
+class TestTimes:
+    def test_ms(self):
+        assert units.ms(20) == 0.02
+
+    def test_us(self):
+        assert units.us(100) == pytest.approx(1e-4)
+
+    def test_minutes(self):
+        assert units.minutes(5) == 300.0
+
+    def test_hours(self):
+        assert units.hours(1) == 3600.0
+
+    def test_to_ms_roundtrip(self):
+        assert units.to_ms(units.ms(35.5)) == pytest.approx(35.5)
+
+
+class TestSizes:
+    def test_kib(self):
+        assert units.kib(1) == 1024
+
+    def test_mib(self):
+        assert units.mib(1) == 1024 * 1024
+
+    def test_mb_decimal(self):
+        assert units.mb(175) == 175_000_000
+
+    def test_gb_decimal(self):
+        assert units.gb(1) == 1_000_000_000
+
+    def test_to_mb(self):
+        assert units.to_mb(units.mb(2.5)) == pytest.approx(2.5)
+
+    def test_bytes_to_bits(self):
+        assert units.bytes_to_bits(10) == 80
+
+
+class TestDerived:
+    def test_transmission_delay(self):
+        # 1250 bytes at 1 Mbps = 10 ms.
+        assert units.transmission_delay(1250, 1e6) == pytest.approx(0.01)
+
+    def test_transmission_delay_rejects_zero_rate(self):
+        with pytest.raises(ConfigurationError):
+            units.transmission_delay(100, 0)
+
+    def test_transmission_delay_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            units.transmission_delay(100, -5)
+
+    def test_rate_from_bytes(self):
+        assert units.rate_from_bytes(125_000, 1.0) == pytest.approx(1e6)
+
+    def test_rate_from_bytes_rejects_zero_duration(self):
+        with pytest.raises(ConfigurationError):
+            units.rate_from_bytes(100, 0)

@@ -1,0 +1,200 @@
+"""The block-DCT video codec: rate control, prediction, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError, ConfigurationError
+from repro.media.feeds import HighMotionFeed, LowMotionFeed, StaticFeed
+from repro.media.frames import FrameSpec
+from repro.media.video_codec import (
+    RateController,
+    VideoCodec,
+    VideoCodecConfig,
+    VideoDecoder,
+)
+from repro.qoe.psnr import psnr
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        VideoCodecConfig()
+
+    def test_gop_positive(self):
+        with pytest.raises(ConfigurationError):
+            VideoCodecConfig(gop_size=0)
+
+    def test_q_ladder_ordering(self):
+        with pytest.raises(ConfigurationError):
+            VideoCodecConfig(q_min=10.0, initial_q=5.0)
+
+    def test_gain_bounds(self):
+        with pytest.raises(ConfigurationError):
+            VideoCodecConfig(adaptation_gain=1.5)
+
+    def test_boost_at_least_one(self):
+        with pytest.raises(ConfigurationError):
+            VideoCodecConfig(keyframe_boost=0.5)
+
+
+class TestRateController:
+    def test_budget_normalised_over_gop(self):
+        config = VideoCodecConfig(gop_size=30, keyframe_boost=4.0)
+        controller = RateController(config, target_bps=300_000, fps=30)
+        key = controller.frame_budget_bits(keyframe=True)
+        inter = controller.frame_budget_bits(keyframe=False)
+        gop_bits = key + 29 * inter
+        assert gop_bits == pytest.approx(300_000, rel=1e-6)
+
+    def test_q_rises_on_overshoot(self):
+        config = VideoCodecConfig()
+        controller = RateController(config, target_bps=100_000, fps=30)
+        before = controller.q_step
+        controller.update(actual_bits=1e6, keyframe=False)
+        assert controller.q_step > before
+
+    def test_q_falls_on_undershoot(self):
+        config = VideoCodecConfig()
+        controller = RateController(config, target_bps=100_000, fps=30)
+        before = controller.q_step
+        controller.update(actual_bits=10.0, keyframe=False)
+        assert controller.q_step < before
+
+    def test_q_clamped(self):
+        config = VideoCodecConfig(q_min=1.0, q_max=2.0, initial_q=1.5)
+        controller = RateController(config, target_bps=100_000, fps=30)
+        for _ in range(50):
+            controller.update(actual_bits=1e9, keyframe=False)
+        assert controller.q_step == config.q_max
+
+    def test_invalid_target_rejected(self):
+        config = VideoCodecConfig()
+        with pytest.raises(ConfigurationError):
+            RateController(config, target_bps=0, fps=30)
+        controller = RateController(config, target_bps=1000, fps=30)
+        with pytest.raises(ConfigurationError):
+            controller.set_target(-5)
+
+
+class TestEncodeDecode:
+    def test_wrong_shape_rejected(self, small_spec):
+        codec = VideoCodec(small_spec)
+        with pytest.raises(CodecError):
+            codec.encode(np.zeros((10, 10), dtype=np.uint8))
+
+    def test_first_frame_is_keyframe(self, small_spec):
+        codec = VideoCodec(small_spec)
+        frame = LowMotionFeed(small_spec).frame(0)
+        assert codec.encode(frame).keyframe
+
+    def test_gop_cadence(self, small_spec):
+        config = VideoCodecConfig(gop_size=5)
+        codec = VideoCodec(small_spec, config)
+        feed = LowMotionFeed(small_spec)
+        flags = [codec.encode(feed.frame(i)).keyframe for i in range(11)]
+        assert flags == [True, False, False, False, False,
+                         True, False, False, False, False, True]
+
+    def test_request_keyframe(self, small_spec):
+        codec = VideoCodec(small_spec, VideoCodecConfig(gop_size=100))
+        feed = LowMotionFeed(small_spec)
+        codec.encode(feed.frame(0))
+        codec.request_keyframe()
+        assert codec.encode(feed.frame(1)).keyframe
+        assert not codec.encode(feed.frame(2)).keyframe
+
+    def test_roundtrip_quality(self, small_spec):
+        codec = VideoCodec(small_spec, target_bps=400_000)
+        decoder = VideoDecoder(small_spec)
+        feed = LowMotionFeed(small_spec)
+        scores = []
+        for index in range(12):
+            frame = feed.frame(index)
+            out = decoder.decode(codec.encode(frame))
+            scores.append(psnr(frame, out))
+        assert np.mean(scores[2:]) > 30
+
+    def test_rate_tracks_target(self, small_spec):
+        feed = HighMotionFeed(small_spec)
+        codec = VideoCodec(small_spec, target_bps=200_000)
+        sizes = [codec.encode(feed.frame(i)).size_bytes for i in range(40)]
+        realized = np.mean(sizes[10:]) * 8 * small_spec.fps
+        assert 0.5 * 200_000 < realized < 2.0 * 200_000
+
+    def test_higher_rate_better_quality(self, small_spec):
+        feed = HighMotionFeed(small_spec)
+
+        def mean_psnr(rate):
+            codec = VideoCodec(small_spec, target_bps=rate)
+            decoder = VideoDecoder(small_spec)
+            values = []
+            for index in range(15):
+                frame = feed.frame(index)
+                out = decoder.decode(codec.encode(frame))
+                values.append(psnr(frame, out))
+            return np.mean(values[5:])
+
+        assert mean_psnr(800_000) > mean_psnr(60_000) + 3
+
+    def test_static_content_compresses_tiny(self, small_spec):
+        feed = StaticFeed(small_spec)
+        codec = VideoCodec(small_spec, VideoCodecConfig(gop_size=600),
+                           target_bps=500_000)
+        sizes = [codec.encode(feed.frame(i)).size_bytes for i in range(10)]
+        # After the reconstruction settles, identical content costs
+        # only skip flags (the lag detector's quiescence depends on
+        # this staying below the 200-byte threshold).
+        assert max(sizes[3:]) < 200
+
+    def test_sparse_storage_matches_nonzeros(self, small_spec):
+        codec = VideoCodec(small_spec)
+        encoded = codec.encode(HighMotionFeed(small_spec).frame(0))
+        assert encoded.indices.shape == encoded.values.shape
+        assert np.all(encoded.values != 0)
+
+
+class TestDecoderResilience:
+    def _encode_sequence(self, spec, count, gop=100):
+        codec = VideoCodec(spec, VideoCodecConfig(gop_size=gop),
+                           target_bps=300_000)
+        feed = LowMotionFeed(spec)
+        return [codec.encode(feed.frame(i)) for i in range(count)]
+
+    def test_gap_freezes_until_keyframe(self, small_spec):
+        frames = self._encode_sequence(small_spec, 8)
+        decoder = VideoDecoder(small_spec)
+        decoder.decode(frames[0])
+        decoder.decode(frames[1])
+        before = decoder.last_frame.copy()
+        # Frame 2 lost in transit.
+        decoder.mark_lost(2)
+        out = decoder.decode(frames[3])  # inter frame: must freeze
+        assert np.array_equal(out, before)
+        assert decoder.frames_frozen >= 1
+
+    def test_keyframe_resyncs(self, small_spec):
+        config = VideoCodecConfig(gop_size=4)
+        codec = VideoCodec(small_spec, config, target_bps=300_000)
+        feed = LowMotionFeed(small_spec)
+        frames = [codec.encode(feed.frame(i)) for i in range(9)]
+        decoder = VideoDecoder(small_spec)
+        decoder.decode(frames[0])
+        decoder.mark_lost(1)
+        decoder.decode(frames[2])  # frozen
+        decoder.decode(frames[3])  # frozen
+        out = decoder.decode(frames[4])  # keyframe: resync
+        reference = feed.frame(4)
+        assert psnr(reference, out) > 25
+        assert decoder.frames_decoded >= 2
+
+    def test_inter_without_reference_returns_none(self, small_spec):
+        frames = self._encode_sequence(small_spec, 3)
+        decoder = VideoDecoder(small_spec)
+        assert decoder.decode(frames[1]) is None
+
+    def test_decoded_counts(self, small_spec):
+        frames = self._encode_sequence(small_spec, 5)
+        decoder = VideoDecoder(small_spec)
+        for encoded in frames:
+            decoder.decode(encoded)
+        assert decoder.frames_decoded == 5
+        assert decoder.frames_frozen == 0
