@@ -1,0 +1,6 @@
+"""Per-figure reproduction benchmarks.
+
+A package so the benchmark modules can use relative imports
+(``from .conftest import run_once``) and the full suite collects under
+a bare ``python -m pytest`` from the repo root.
+"""

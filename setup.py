@@ -5,6 +5,22 @@ PEP 517 editable installs fail; ``pip install -e . --no-use-pep517
 --no-build-isolation`` with this shim works everywhere.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Can You See Me Now?' (IMC 2021): a "
+        "videoconferencing measurement harness and campaign engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

@@ -1,0 +1,70 @@
+"""Campaign orchestration: parallel, persistent, resumable grids.
+
+The paper runs 700+ sessions over 48 hours; this package turns the
+one-shot drivers of :mod:`repro.experiments` into that kind of
+campaign:
+
+* :mod:`repro.campaign.spec` -- declarative sweeps
+  (:class:`ScenarioSpec`, :class:`CampaignSpec`) expanded into concrete
+  :class:`CampaignCell` work items with deterministic per-cell seeds,
+* :mod:`repro.campaign.registry` -- uniform adapters dispatching cells
+  to the experiment drivers and serializing their results,
+* :mod:`repro.campaign.store` -- an append-only JSONL result store with
+  spec-hash integrity checking,
+* :mod:`repro.campaign.runner` -- in-process or process-pool execution
+  with resume (completed cells are skipped by id),
+* :mod:`repro.campaign.aggregate` -- paper-style tables and Markdown
+  reports folded from the store alone,
+* :mod:`repro.campaign.grids` -- the paper's full grid and a smoke
+  preset.
+
+Quickstart::
+
+    from repro.campaign import run_campaign, smoke_campaign
+
+    spec = smoke_campaign()
+    summary = run_campaign(spec, "campaign.jsonl", workers=2)
+    summary = run_campaign(spec, "campaign.jsonl", workers=2, resume=True)
+    assert summary.executed == 0   # everything was already done
+
+    from repro.campaign import report_from_store
+    print(report_from_store("campaign.jsonl").render())
+
+Or from the shell: ``python -m repro campaign run --smoke --workers 2``.
+"""
+
+from .aggregate import build_report, report_from_store, status_table
+from .grids import ALL_PLATFORMS, SMOKE_SCALE, paper_campaign, smoke_campaign
+from .registry import ADAPTERS, ScenarioAdapter, get_adapter
+from .runner import CampaignRunSummary, execute_cell, run_campaign
+from .spec import (
+    KNOWN_KINDS,
+    CampaignCell,
+    CampaignSpec,
+    ScenarioSpec,
+    derive_seed,
+)
+from .store import CampaignStore, CellRecord
+
+__all__ = [
+    "ADAPTERS",
+    "ALL_PLATFORMS",
+    "CampaignCell",
+    "CampaignRunSummary",
+    "CampaignSpec",
+    "CampaignStore",
+    "CellRecord",
+    "KNOWN_KINDS",
+    "SMOKE_SCALE",
+    "ScenarioAdapter",
+    "ScenarioSpec",
+    "build_report",
+    "derive_seed",
+    "execute_cell",
+    "get_adapter",
+    "paper_campaign",
+    "report_from_store",
+    "run_campaign",
+    "smoke_campaign",
+    "status_table",
+]

@@ -1,0 +1,222 @@
+"""Fold persisted campaign records into paper-style outputs.
+
+Everything here works from the JSONL store alone -- no driver objects,
+no re-execution -- so a report can be rendered on a different machine
+(or months later) from the store file.  Tables reuse
+:class:`~repro.analysis.tables.TextTable` and the Markdown shape of
+:class:`~repro.analysis.report.ExperimentReport`, so campaign output
+matches the per-figure benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Sequence
+
+from ..analysis.report import ExperimentReport
+from ..analysis.tables import TextTable
+from .spec import CampaignSpec
+from .store import CampaignStore, CellRecord
+
+#: Render order and section titles for the per-kind tables.
+KIND_TITLES = {
+    "lag": "Streaming lag (Figs. 4-11 protocol)",
+    "endpoints": "Endpoint architecture (Fig. 3 protocol)",
+    "qoe": "Video QoE (Figs. 12/16 protocol)",
+    "bandwidth": "Bandwidth constraints (Figs. 17-18 protocol)",
+    "mobile": "Mobile resources (Fig. 19 protocol)",
+}
+
+
+def _fmt(value: Optional[float], spec: str = ".1f") -> str:
+    if value is None:
+        return "-"
+    formatted = format(value, spec)
+    return "-" if formatted == "nan" else formatted
+
+
+def _ok_records(records: Iterable[CellRecord], kind: str) -> List[CellRecord]:
+    return sorted(
+        (r for r in records if r.kind == kind and r.ok and r.metrics),
+        key=lambda r: r.cell_id,
+    )
+
+
+def lag_table(records: Iterable[CellRecord]) -> TextTable:
+    """One row per (platform, host) lag cell."""
+    table = TextTable(
+        ["Platform", "Host", "Group", "Lag band (ms)", "Median lag (ms)",
+         "Mean RTT (ms)", "Sessions"]
+    )
+    for record in _ok_records(records, "lag"):
+        metrics = record.metrics
+        lo, hi = metrics["lag_band_ms"]
+        rtt = metrics.get("rtt_ms")
+        table.add_row([
+            record.params.get("platform", "?"),
+            record.params.get("host", "?"),
+            record.params.get("group", "?"),
+            f"{_fmt(lo)} - {_fmt(hi)}",
+            _fmt(metrics["lag_ms"]["median"]),
+            _fmt(rtt["mean"]) if rtt else "-",
+            metrics.get("sessions", "-"),
+        ])
+    return table
+
+
+def endpoints_table(records: Iterable[CellRecord]) -> TextTable:
+    """One row per endpoint-study cell (the 20/19.5/1.8 finding)."""
+    table = TextTable(
+        ["Platform", "Sessions", "Mean endpoints/client", "Ports"]
+    )
+    for record in _ok_records(records, "endpoints"):
+        metrics = record.metrics
+        table.add_row([
+            record.params.get("platform", "?"),
+            metrics.get("sessions", "-"),
+            _fmt(metrics["mean_endpoints_per_client"]),
+            ",".join(str(p) for p in metrics.get("ports", [])),
+        ])
+    return table
+
+
+def qoe_table(records: Iterable[CellRecord]) -> TextTable:
+    """One row per (platform, motion, N) QoE cell."""
+    table = TextTable(
+        ["Platform", "Motion", "N", "Region", "PSNR (dB)", "SSIM",
+         "Up Mbps", "Down Mbps"]
+    )
+    for record in _ok_records(records, "qoe"):
+        metrics = record.metrics
+        table.add_row([
+            record.params.get("platform", "?"),
+            record.params.get("motion", "?"),
+            record.params.get("participants", "-"),
+            record.params.get("region", "US"),
+            f"{_fmt(metrics['psnr_db']['mean'])} "
+            f"+/- {_fmt(metrics['psnr_db']['std'])}",
+            f"{_fmt(metrics['ssim']['mean'], '.3f')} "
+            f"+/- {_fmt(metrics['ssim']['std'], '.3f')}",
+            _fmt(metrics["upload_mbps"], ".2f"),
+            _fmt(metrics["download_mbps"], ".2f"),
+        ])
+    return table
+
+
+def bandwidth_table(records: Iterable[CellRecord]) -> TextTable:
+    """One row per (platform, motion, limit) bandwidth cell."""
+    table = TextTable(
+        ["Platform", "Motion", "Limit", "PSNR (dB)", "SSIM", "MOS-LQO",
+         "Down Mbps", "Frozen"]
+    )
+    for record in _ok_records(records, "bandwidth"):
+        metrics = record.metrics
+        table.add_row([
+            record.params.get("platform", "?"),
+            record.params.get("motion", "?"),
+            metrics.get("limit_label", "-"),
+            _fmt(metrics["psnr_db"]),
+            _fmt(metrics["ssim"], ".3f"),
+            _fmt(metrics["mos_lqo"], ".2f"),
+            _fmt(metrics["download_mbps"], ".2f"),
+            metrics.get("frames_frozen", "-"),
+        ])
+    return table
+
+
+def mobile_table(records: Iterable[CellRecord]) -> TextTable:
+    """One row per (platform, scenario, device) mobile reading."""
+    table = TextTable(
+        ["Platform", "Scenario", "N", "Device", "Median CPU %",
+         "Rate (Mbps)", "mAh"]
+    )
+    for record in _ok_records(records, "mobile"):
+        metrics = record.metrics
+        for device, reading in metrics["devices"].items():
+            table.add_row([
+                record.params.get("platform", "?"),
+                record.params.get("scenario", "?"),
+                metrics.get("participants", "-"),
+                device,
+                _fmt(reading["median_cpu_pct"], ".0f"),
+                _fmt(reading["mean_rate_mbps"], ".2f"),
+                _fmt(reading["discharge_mah"], ".2f"),
+            ])
+    return table
+
+
+#: kind -> table builder, in render order.
+TABLE_BUILDERS = {
+    "lag": lag_table,
+    "endpoints": endpoints_table,
+    "qoe": qoe_table,
+    "bandwidth": bandwidth_table,
+    "mobile": mobile_table,
+}
+
+
+def status_rows(spec: CampaignSpec,
+                records: Sequence[CellRecord]) -> List[List[object]]:
+    """Per-kind (total, completed, failed, pending) progress rows."""
+    cells = spec.expand()
+    totals: Counter = Counter(c.kind for c in cells)
+    ok_ids = {r.cell_id for r in records if r.ok}
+    failed_ids = {r.cell_id for r in records if not r.ok} - ok_ids
+    rows = []
+    for kind in KIND_TITLES:
+        if kind not in totals:
+            continue
+        kind_cells = [c for c in cells if c.kind == kind]
+        done = sum(1 for c in kind_cells if c.cell_id in ok_ids)
+        failed = sum(1 for c in kind_cells if c.cell_id in failed_ids)
+        rows.append(
+            [kind, totals[kind], done, failed, totals[kind] - done]
+        )
+    return rows
+
+
+def status_table(spec: CampaignSpec,
+                 records: Sequence[CellRecord]) -> TextTable:
+    """Progress of a campaign as a table."""
+    table = TextTable(["Kind", "Cells", "Completed", "Failed", "Pending"])
+    for row in status_rows(spec, records):
+        table.add_row(row)
+    return table
+
+
+def build_report(spec: CampaignSpec,
+                 records: Sequence[CellRecord]) -> ExperimentReport:
+    """A paper-style Markdown report assembled from stored records."""
+    report = ExperimentReport(f"Campaign report: {spec.name}")
+    ok = [r for r in records if r.ok]
+    # A cell that failed and then succeeded on resume is not a
+    # failure; only cells with no ok record count.
+    ok_ids = {r.cell_id for r in ok}
+    failed = [r for r in records if not r.ok and r.cell_id not in ok_ids]
+    runtime = sum(r.duration_s for r in records)
+    report.add_table(
+        "Campaign summary",
+        ["Kind", "Cells", "Completed", "Failed", "Pending"],
+        status_rows(spec, records),
+        notes=[
+            f"spec hash {spec.spec_hash()}, master seed {spec.master_seed}",
+            f"{len(ok)} cells stored, {len(failed)} failures, "
+            f"{runtime:.1f} s of cell runtime",
+        ],
+    )
+    for kind, title in KIND_TITLES.items():
+        if not any(r.kind == kind and r.ok for r in ok):
+            continue
+        report.add_section(title, TABLE_BUILDERS[kind](ok).render())
+    if failed:
+        table = TextTable(["Cell", "Error"])
+        for record in sorted(failed, key=lambda r: r.cell_id):
+            table.add_row([record.cell_id, record.error or "?"])
+        report.add_section("Failures", table.render())
+    return report
+
+
+def report_from_store(store_path: str) -> ExperimentReport:
+    """Render the report for a store file, from the store alone."""
+    store = CampaignStore(store_path)
+    return build_report(store.spec(), store.cell_records())

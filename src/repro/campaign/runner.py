@@ -1,0 +1,191 @@
+"""Campaign execution: parallel, persistent, resumable.
+
+The runner expands a :class:`CampaignSpec` into cells, subtracts the
+cells already completed in the store (``resume``), and executes the
+remainder -- in-process when ``workers == 1`` (pure, debuggable, no
+forks) or across a :class:`~concurrent.futures.ProcessPoolExecutor`
+otherwise.  Each cell is dispatched through the adapter registry with
+the scale reseeded to the cell's derived seed, so results are identical
+whether a cell runs serially, in a pool, today or in a resumed run next
+week.  Only the parent process writes to the store: workers return
+plain dicts and the parent appends records as futures complete.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..errors import CampaignError
+from ..experiments.scale import ExperimentScale
+from .registry import get_adapter
+from .spec import CampaignCell, CampaignSpec
+from .store import CampaignStore, CellRecord
+
+#: Progress callback: (record, done_count, total_count).
+ProgressFn = Callable[[CellRecord, int, int], None]
+
+
+@dataclass
+class CampaignRunSummary:
+    """Outcome of one ``run_campaign`` invocation.
+
+    Attributes:
+        total: Cells in the spec's expansion.
+        skipped: Cells already complete in the store (resume).
+        executed: Cells run by this invocation.
+        failed: Executed cells that ended in error.
+        duration_s: Wall-clock time of this invocation.
+        records: The records appended by this invocation.
+    """
+
+    total: int
+    skipped: int
+    executed: int
+    failed: int
+    duration_s: float
+    records: List[CellRecord] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        """Cells now complete in the store."""
+        return self.skipped + self.executed - self.failed
+
+
+def execute_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Run one cell and return its record payload.
+
+    Module-level and dict-in/dict-out so it pickles cleanly across the
+    process pool; also the ``workers == 1`` code path, so both modes
+    share one implementation.
+    """
+    scale = ExperimentScale.from_dict(payload["scale"]).with_seed(
+        int(payload["seed"])
+    )
+    record: Dict[str, Any] = {
+        "cell_id": payload["cell_id"],
+        "kind": payload["kind"],
+        "params": dict(payload["params"]),
+        "seed": int(payload["seed"]),
+        "spec_hash": payload["spec_hash"],
+        "worker": os.getpid(),
+    }
+    start = time.perf_counter()
+    try:
+        adapter = get_adapter(payload["kind"])
+        metrics = adapter.run(payload["params"], scale)
+    except Exception as exc:  # noqa: BLE001 - a cell must never kill the run
+        record.update(
+            status="error",
+            metrics=None,
+            error="".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip(),
+        )
+    else:
+        record.update(status="ok", metrics=metrics, error=None)
+    record["duration_s"] = time.perf_counter() - start
+    record["finished_at"] = time.time()
+    return record
+
+
+def _cell_payload(cell: CampaignCell, spec: CampaignSpec,
+                  spec_hash: str) -> Dict[str, Any]:
+    return {
+        "cell_id": cell.cell_id,
+        "kind": cell.kind,
+        "params": dict(cell.params),
+        "seed": cell.seed,
+        "spec_hash": spec_hash,
+        "scale": spec.scale.to_dict(),
+    }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_path: str,
+    workers: int = 1,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignRunSummary:
+    """Execute a campaign against a persistent store.
+
+    Args:
+        spec: The campaign definition.
+        store_path: JSONL store path (created on first run).
+        workers: Process-pool size; ``1`` runs every cell in-process.
+        resume: Extend an existing store, skipping completed cells.
+            The store's spec hash must match ``spec`` exactly.
+        progress: Optional per-cell callback.
+
+    Returns:
+        A :class:`CampaignRunSummary`; per-cell failures are recorded,
+        not raised, so one broken cell cannot abort a 48-hour campaign.
+
+    Raises:
+        CampaignError: The store exists but ``resume`` was not given,
+            or ``workers < 1``.
+        StoreIntegrityError: Resuming with a changed spec.
+    """
+    if workers < 1:
+        raise CampaignError(f"workers must be >= 1, got {workers}")
+    store = CampaignStore(store_path)
+    completed: set = set()
+    if store.exists():
+        if not resume:
+            raise CampaignError(
+                f"store {store_path!r} already holds a campaign; resume it "
+                "(--resume / resume=True) to extend it, or choose a new path"
+            )
+        store.verify_spec(spec)
+        completed = store.completed_ids()
+    else:
+        store.initialise(spec)
+
+    cells = spec.expand()
+    spec_hash = spec.spec_hash()
+    pending = [c for c in cells if c.cell_id not in completed]
+    summary = CampaignRunSummary(
+        total=len(cells),
+        skipped=len(cells) - len(pending),
+        executed=0,
+        failed=0,
+        duration_s=0.0,
+    )
+    start = time.perf_counter()
+
+    def record_result(payload: Dict[str, Any]) -> None:
+        record = CellRecord.from_dict({"type": "cell", **payload})
+        store.append_cell(record)
+        summary.records.append(record)
+        summary.executed += 1
+        if not record.ok:
+            summary.failed += 1
+        if progress is not None:
+            progress(record, summary.skipped + summary.executed, len(cells))
+
+    if workers == 1 or len(pending) <= 1:
+        for cell in pending:
+            record_result(execute_cell(_cell_payload(cell, spec, spec_hash)))
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {
+                pool.submit(
+                    execute_cell, _cell_payload(cell, spec, spec_hash)
+                ): cell
+                for cell in pending
+            }
+            remaining = set(futures)
+            # Append results as they land so a kill mid-campaign keeps
+            # every finished cell, not just those before a barrier.
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    record_result(future.result())
+
+    summary.duration_s = time.perf_counter() - start
+    return summary

@@ -1,0 +1,220 @@
+"""Declarative campaign specifications and grid expansion.
+
+The paper's measurement campaign is a grid: platform x region pair x
+feed/motion x network condition, repeated for sessions over 48 hours.
+A :class:`ScenarioSpec` declares one such sweep for one experiment kind
+(its axes are Cartesian-producted), a :class:`CampaignSpec` bundles
+several sweeps with a shared :class:`ExperimentScale` and a master
+seed, and :meth:`CampaignSpec.expand` turns the whole thing into
+concrete :class:`CampaignCell` work items with deterministic per-cell
+seeds -- the unit the runner schedules and the store persists.
+
+Determinism contract: the same spec always expands to the same cells,
+in the same order, with the same ``cell_id`` and ``seed`` values, so a
+resumed campaign can skip completed cells by id and any cell can be
+re-run bit-for-bit in isolation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from ..errors import CampaignError
+from ..experiments.scale import ExperimentScale
+
+#: Experiment kinds the registry knows how to dispatch.
+KNOWN_KINDS = ("lag", "qoe", "bandwidth", "mobile", "endpoints")
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical JSON used for hashing and cell identity."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def derive_seed(master_seed: int, cell_id: str) -> int:
+    """A deterministic 31-bit seed for one cell.
+
+    Independent of expansion order and of the other cells in the grid:
+    adding a scenario to a campaign never changes the seeds of existing
+    cells, which keeps resumed and extended campaigns comparable.
+    """
+    digest = hashlib.sha256(f"{master_seed}:{cell_id}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One sweep: an experiment kind plus axes to grid over.
+
+    Attributes:
+        kind: One of :data:`KNOWN_KINDS`.
+        axes: Axis name -> tuple of values.  Every combination becomes
+            one cell; axes the kind's adapter does not sweep fall back
+            to adapter defaults.  Values must be JSON-serializable
+            scalars (``None`` is allowed, e.g. an uncapped bandwidth
+            limit).
+    """
+
+    kind: str
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+
+    def __init__(self, kind: str, axes: Mapping[str, Sequence[Any]]):
+        if kind not in KNOWN_KINDS:
+            raise CampaignError(
+                f"unknown scenario kind {kind!r}; expected one of {KNOWN_KINDS}"
+            )
+        if not axes:
+            raise CampaignError(f"scenario {kind!r} needs at least one axis")
+        frozen = []
+        for name in sorted(axes):
+            values = tuple(axes[name])
+            if not values:
+                raise CampaignError(
+                    f"axis {name!r} of scenario {kind!r} has no values"
+                )
+            frozen.append((name, values))
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "axes", tuple(frozen))
+
+    def cells(self) -> Iterator[Dict[str, Any]]:
+        """Every axis combination as a params dict."""
+        names = [name for name, _ in self.axes]
+        for combo in itertools.product(*(values for _, values in self.axes)):
+            yield dict(zip(names, combo))
+
+    def cell_count(self) -> int:
+        """Size of this sweep's grid."""
+        count = 1
+        for _, values in self.axes:
+            count *= len(values)
+        return count
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable form."""
+        return {
+            "kind": self.kind,
+            "axes": {name: list(values) for name, values in self.axes},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a sweep persisted with :meth:`to_dict`."""
+        try:
+            return cls(data["kind"], data["axes"])
+        except (KeyError, TypeError) as exc:
+            raise CampaignError(f"bad scenario record: {exc!r}") from exc
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One concrete unit of work: an experiment kind with bound params.
+
+    Attributes:
+        kind: Experiment kind (registry dispatch key).
+        params: Fully-bound axis values for this cell.
+        cell_id: Stable identity string (kind plus canonical params).
+        seed: Per-cell seed derived from the campaign master seed.
+    """
+
+    kind: str
+    params: Mapping[str, Any]
+    cell_id: str
+    seed: int
+
+    @classmethod
+    def build(cls, kind: str, params: Mapping[str, Any],
+              master_seed: int) -> "CampaignCell":
+        """Derive identity and seed for one expanded combination."""
+        cell_id = f"{kind}:" + ",".join(
+            f"{name}={canonical_json(params[name])}" for name in sorted(params)
+        )
+        return cls(
+            kind=kind,
+            params=dict(params),
+            cell_id=cell_id,
+            seed=derive_seed(master_seed, cell_id),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named collection of sweeps run at one scale from one seed.
+
+    Attributes:
+        name: Campaign name (recorded in the store header).
+        scenarios: The sweeps to expand.
+        scale: Sessions/durations profile shared by every cell (each
+            cell runs it reseeded with its own derived seed).
+        master_seed: Root of the per-cell seed derivation.
+    """
+
+    name: str
+    scenarios: Tuple[ScenarioSpec, ...]
+    scale: ExperimentScale = field(default_factory=ExperimentScale)
+    master_seed: int = 7
+
+    def __init__(self, name: str, scenarios: Sequence[ScenarioSpec],
+                 scale: ExperimentScale | None = None, master_seed: int = 7):
+        if not name:
+            raise CampaignError("a campaign needs a name")
+        if not scenarios:
+            raise CampaignError("a campaign needs at least one scenario")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "scenarios", tuple(scenarios))
+        object.__setattr__(
+            self, "scale", scale if scale is not None else ExperimentScale()
+        )
+        object.__setattr__(self, "master_seed", int(master_seed))
+
+    def expand(self) -> List[CampaignCell]:
+        """The full grid as deterministic, deduplicated cells."""
+        cells: List[CampaignCell] = []
+        seen: set[str] = set()
+        for scenario in self.scenarios:
+            for params in scenario.cells():
+                cell = CampaignCell.build(
+                    scenario.kind, params, self.master_seed
+                )
+                if cell.cell_id in seen:
+                    continue
+                seen.add(cell.cell_id)
+                cells.append(cell)
+        return cells
+
+    def cell_count(self) -> int:
+        """Number of distinct cells in the campaign."""
+        return len(self.expand())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable form (hashed and stored verbatim)."""
+        return {
+            "name": self.name,
+            "master_seed": self.master_seed,
+            "scale": self.scale.to_dict(),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a campaign persisted with :meth:`to_dict`."""
+        try:
+            return cls(
+                name=data["name"],
+                scenarios=[
+                    ScenarioSpec.from_dict(s) for s in data["scenarios"]
+                ],
+                scale=ExperimentScale.from_dict(data["scale"]),
+                master_seed=int(data["master_seed"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CampaignError(f"bad campaign record: {exc!r}") from exc
+
+    def spec_hash(self) -> str:
+        """Content hash binding stored results to this exact spec."""
+        return hashlib.sha256(
+            canonical_json(self.to_dict()).encode()
+        ).hexdigest()[:16]

@@ -1,0 +1,222 @@
+"""Persistent JSONL result store for measurement campaigns.
+
+Layout: the first line is a header record carrying the campaign spec
+and its content hash; every subsequent line is one cell record (the
+cell identity, the derived seed, timings, a status, and the serialized
+metrics).  Append-only JSONL means a crash mid-campaign loses at most
+the in-flight cell, every completed cell survives, and ``resume`` is a
+set-difference between the spec's expansion and the ids already on
+disk.  The header hash is the integrity check: a store is only ever
+extended by the exact spec that created it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set
+
+from ..errors import CampaignError, StoreIntegrityError
+from .spec import CampaignSpec
+
+#: Record discriminators on the ``type`` field of each JSONL line.
+HEADER_TYPE = "campaign"
+CELL_TYPE = "cell"
+
+
+@dataclass
+class CellRecord:
+    """One persisted cell outcome.
+
+    Attributes:
+        cell_id: Stable identity from the spec expansion.
+        kind: Experiment kind.
+        params: Axis values the cell ran with.
+        seed: Derived per-cell seed the drivers were reseeded with.
+        spec_hash: Hash of the owning campaign spec.
+        status: ``"ok"`` or ``"error"``.
+        duration_s: Wall-clock runtime of the cell.
+        finished_at: Unix timestamp when the cell completed.
+        metrics: Serialized driver output (``None`` on error).
+        error: Exception text when ``status == "error"``.
+        worker: Pid of the process that executed the cell.
+    """
+
+    cell_id: str
+    kind: str
+    params: Dict[str, Any]
+    seed: int
+    spec_hash: str
+    status: str = "ok"
+    duration_s: float = 0.0
+    finished_at: float = 0.0
+    metrics: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    worker: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell completed successfully."""
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSONL line payload."""
+        return {
+            "type": CELL_TYPE,
+            "cell_id": self.cell_id,
+            "kind": self.kind,
+            "params": self.params,
+            "seed": self.seed,
+            "spec_hash": self.spec_hash,
+            "status": self.status,
+            "duration_s": self.duration_s,
+            "finished_at": self.finished_at,
+            "metrics": self.metrics,
+            "error": self.error,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellRecord":
+        """Rebuild a record from one parsed JSONL line."""
+        try:
+            return cls(
+                cell_id=data["cell_id"],
+                kind=data["kind"],
+                params=dict(data["params"]),
+                seed=int(data["seed"]),
+                spec_hash=data["spec_hash"],
+                status=data["status"],
+                duration_s=float(data.get("duration_s", 0.0)),
+                finished_at=float(data.get("finished_at", 0.0)),
+                metrics=data.get("metrics"),
+                error=data.get("error"),
+                worker=int(data.get("worker", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CampaignError(f"bad cell record: {exc!r}") from exc
+
+
+class CampaignStore:
+    """Append-only JSONL persistence for one campaign's results."""
+
+    def __init__(self, path: str) -> None:
+        if not path:
+            raise CampaignError("a store needs a path")
+        self.path = path
+        self._header: Optional[Dict[str, Any]] = None
+
+    # -- reading ---------------------------------------------------------
+
+    def exists(self) -> bool:
+        """Whether anything has been written at this path."""
+        return os.path.exists(self.path) and os.path.getsize(self.path) > 0
+
+    def _lines(self) -> Iterable[Dict[str, Any]]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    # A truncated trailing line (crash mid-append) only
+                    # costs that cell; anything earlier is corruption.
+                    if handle.readline():
+                        raise CampaignError(
+                            f"{self.path}:{lineno}: corrupt record"
+                        ) from None
+                    return
+
+    def header(self) -> Dict[str, Any]:
+        """The campaign header record (parsed once, then cached --
+        the header of an append-only store never changes)."""
+        if self._header is not None:
+            return self._header
+        if not self.exists():
+            raise CampaignError(f"no campaign store at {self.path!r}")
+        for record in self._lines():
+            if record.get("type") == HEADER_TYPE:
+                self._header = record
+                return record
+            break
+        raise StoreIntegrityError(
+            f"{self.path!r} does not start with a campaign header"
+        )
+
+    def spec(self) -> CampaignSpec:
+        """The campaign spec persisted in the header."""
+        return CampaignSpec.from_dict(self.header()["spec"])
+
+    def spec_hash(self) -> str:
+        """The spec hash persisted in the header."""
+        return self.header()["spec_hash"]
+
+    def cell_records(self) -> List[CellRecord]:
+        """Every persisted cell record, in append order."""
+        records = []
+        for record in self._lines():
+            if record.get("type") == CELL_TYPE:
+                records.append(CellRecord.from_dict(record))
+        return records
+
+    def completed_ids(self) -> Set[str]:
+        """Ids of cells that finished successfully (resume skips these)."""
+        return {r.cell_id for r in self.cell_records() if r.ok}
+
+    # -- writing ---------------------------------------------------------
+
+    def initialise(self, spec: CampaignSpec) -> None:
+        """Write the header for a fresh store.
+
+        Raises:
+            CampaignError: The path already holds a campaign (use
+                :meth:`verify_spec` + resume instead of overwriting).
+        """
+        if self.exists():
+            raise CampaignError(
+                f"store {self.path!r} already exists; resume it or pick "
+                "a new path"
+            )
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        header = {
+            "type": HEADER_TYPE,
+            "name": spec.name,
+            "spec_hash": spec.spec_hash(),
+            "created_at": time.time(),
+            "cells": spec.cell_count(),
+            "spec": spec.to_dict(),
+        }
+        self._append(header)
+        self._header = header
+
+    def verify_spec(self, spec: CampaignSpec) -> None:
+        """Check that ``spec`` is the one this store was created from.
+
+        Raises:
+            StoreIntegrityError: The hashes differ -- resuming would mix
+                results from two different grids in one file.
+        """
+        stored = self.spec_hash()
+        current = spec.spec_hash()
+        if stored != current:
+            raise StoreIntegrityError(
+                f"store {self.path!r} was created by spec {stored}, "
+                f"refusing to resume with spec {current} "
+                "(campaign definition changed; use a new store path)"
+            )
+
+    def append_cell(self, record: CellRecord) -> None:
+        """Persist one finished cell."""
+        self._append(record.to_dict())
+
+    def _append(self, payload: Dict[str, Any]) -> None:
+        line = json.dumps(payload, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

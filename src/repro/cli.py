@@ -1,14 +1,35 @@
 """Command-line interface: run paper scenarios from the shell.
 
-Usage::
+Single-scenario drivers (``python -m repro`` or the ``repro`` console
+script)::
 
-    python -m repro.cli lag --platform zoom --host US-East --group US
-    python -m repro.cli endpoints --platform meet --sessions 10
-    python -m repro.cli qoe --platform webex --motion high -n 4
-    python -m repro.cli mobile --platform meet --scenario LM-View
+    python -m repro lag --platform zoom --host US-East --group US
+    python -m repro endpoints --platform meet --sessions 10
+    python -m repro qoe --platform webex --motion high -n 4
+    python -m repro mobile --platform meet --scenario LM-View
 
 Each subcommand runs the corresponding experiment driver at a
 configurable scale and prints a paper-style table.
+
+Measurement campaigns (:mod:`repro.campaign`) -- parallel, persistent,
+resumable grids over platform x scenario x network condition::
+
+    # Execute a grid into a JSONL store, 2 cells at a time.
+    python -m repro campaign run --store campaign.jsonl \\
+        --platforms zoom meet --kinds lag qoe --workers 2
+
+    # Interrupted?  Resume skips every completed cell.
+    python -m repro campaign run --store campaign.jsonl \\
+        --platforms zoom meet --kinds lag qoe --workers 2 --resume
+
+    # Progress and paper-style report, from the store alone.
+    python -m repro campaign status --store campaign.jsonl
+    python -m repro campaign report --store campaign.jsonl -o report.md
+
+``campaign run --smoke`` substitutes a seconds-long 2x2 grid (an
+end-to-end check used by CI); ``--paper-scale`` runs the full
+700-session protocol of the paper.  ``campaign run`` flags must match
+the store's recorded spec when resuming -- the spec hash is verified.
 """
 
 from __future__ import annotations
@@ -19,11 +40,17 @@ import sys
 import numpy as np
 
 from .analysis.tables import TextTable
+from .campaign.aggregate import report_from_store, status_table
+from .campaign.grids import paper_campaign, smoke_campaign
+from .campaign.runner import run_campaign
+from .campaign.spec import KNOWN_KINDS
+from .campaign.store import CampaignStore
+from .errors import ReproError
 from .experiments.endpoint_study import run_endpoint_study
 from .experiments.lag_study import run_lag_scenario
 from .experiments.mobile_study import MOBILE_SCENARIOS, run_mobile_scenario
 from .experiments.qoe_study import EU_ROSTER, US_ROSTER, run_qoe_cell
-from .experiments.scale import ExperimentScale
+from .experiments.scale import PAPER_SCALE, ExperimentScale
 from .media.frames import FrameSpec
 
 PLATFORM_CHOICES = ("zoom", "webex", "meet")
@@ -40,13 +67,17 @@ def _scale_from(args: argparse.Namespace) -> ExperimentScale:
     )
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--platform", choices=PLATFORM_CHOICES, default="zoom")
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sessions", type=int, default=2)
     parser.add_argument("--duration", type=float, default=12.0,
                         help="session duration in seconds")
     parser.add_argument("--probes", type=int, default=10)
     parser.add_argument("--seed", type=int, default=7)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--platform", choices=PLATFORM_CHOICES, default="zoom")
+    _add_scale_args(parser)
 
 
 def cmd_lag(args: argparse.Namespace) -> int:
@@ -121,6 +152,118 @@ def cmd_mobile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_spec_from(args: argparse.Namespace):
+    if args.smoke:
+        return smoke_campaign(master_seed=args.seed)
+    if args.paper_scale:
+        scale = PAPER_SCALE.with_seed(args.seed)
+    else:
+        scale = _scale_from(args)
+    return paper_campaign(
+        platforms=args.platforms,
+        kinds=args.kinds,
+        scale=scale,
+        master_seed=args.seed,
+        name=args.name,
+    )
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    spec = _campaign_spec_from(args)
+
+    def progress(record, done, total):
+        print(f"[{done}/{total}] {record.cell_id}: {record.status} "
+              f"({record.duration_s:.2f}s)")
+        if not record.ok:
+            print(f"    {record.error}")
+
+    try:
+        summary = run_campaign(
+            spec,
+            args.store,
+            workers=args.workers,
+            resume=args.resume,
+            progress=progress,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"\ncampaign {spec.name!r}: {summary.total} cells, "
+          f"{summary.skipped} resumed, {summary.executed} executed, "
+          f"{summary.failed} failed in {summary.duration_s:.1f}s "
+          f"(workers={args.workers}, store={args.store})")
+    return 1 if summary.failed else 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.store)
+    try:
+        spec = store.spec()
+        records = store.cell_records()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign {spec.name!r} (spec hash {spec.spec_hash()})")
+    print(status_table(spec, records).render())
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    try:
+        report = report_from_store(args.store)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        report.save(args.output)
+        print(f"wrote {args.output}")
+    else:
+        print(report.render())
+    return 0
+
+
+def _add_campaign_subcommands(
+    subparsers: argparse._SubParsersAction,
+) -> None:
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="parallel, persistent, resumable measurement campaigns",
+    )
+    actions = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    run = actions.add_parser("run", help="execute a campaign grid")
+    _add_scale_args(run)
+    run.add_argument("--store", default="campaign.jsonl",
+                     help="JSONL result store path")
+    run.add_argument("--platforms", nargs="+", choices=PLATFORM_CHOICES,
+                     default=list(PLATFORM_CHOICES))
+    run.add_argument("--kinds", nargs="+", choices=KNOWN_KINDS,
+                     default=None, help="restrict scenario kinds")
+    run.add_argument("--workers", type=int, default=1,
+                     help="parallel worker processes (1 = in-process)")
+    run.add_argument("--resume", action="store_true",
+                     help="extend an existing store, skipping "
+                          "completed cells")
+    run.add_argument("--name", default="paper-protocol")
+    run.add_argument("--smoke", action="store_true",
+                     help="tiny 2-platform lag+qoe grid (seconds)")
+    run.add_argument("--paper-scale", action="store_true",
+                     help="full 700-session protocol scale")
+    run.set_defaults(func=cmd_campaign_run)
+
+    status = actions.add_parser("status", help="progress of a store")
+    status.add_argument("--store", default="campaign.jsonl")
+    status.set_defaults(func=cmd_campaign_status)
+
+    report = actions.add_parser(
+        "report", help="paper-style report from a store"
+    )
+    report.add_argument("--store", default="campaign.jsonl")
+    report.add_argument("-o", "--output", default=None,
+                        help="write Markdown here instead of stdout")
+    report.set_defaults(func=cmd_campaign_report)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -157,6 +300,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mobile.add_argument("-n", "--participants", type=int, default=3)
     mobile.set_defaults(func=cmd_mobile)
+
+    _add_campaign_subcommands(subparsers)
     return parser
 
 

@@ -37,6 +37,32 @@ class SummaryStats:
             p90=float(np.percentile(array, 90)),
         )
 
+    def to_dict(self) -> Dict[str, float]:
+        """A JSON-serializable form (used by campaign result stores)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "median": self.median,
+            "p10": self.p10,
+            "p90": self.p90,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "SummaryStats":
+        """Rebuild a summary persisted with :meth:`to_dict`."""
+        try:
+            return cls(
+                count=int(data["count"]),
+                mean=float(data["mean"]),
+                std=float(data["std"]),
+                median=float(data["median"]),
+                p10=float(data["p10"]),
+                p90=float(data["p90"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AnalysisError(f"bad summary record: {exc!r}") from exc
+
 
 @dataclass
 class LagSessionResult:

@@ -50,3 +50,11 @@ class MeasurementError(ReproError):
 
 class AnalysisError(ReproError):
     """Post-processing/analysis of results failed."""
+
+
+class CampaignError(ReproError):
+    """A measurement campaign was misconfigured or its store is unusable."""
+
+
+class StoreIntegrityError(CampaignError):
+    """A result store does not match the campaign spec it claims to hold."""

@@ -18,8 +18,30 @@ tables/figures:
 Every driver accepts an :class:`ExperimentScale`; ``QUICK_SCALE`` keeps
 benchmark runtimes in seconds, ``PAPER_SCALE`` approaches the paper's
 session counts and durations.
+
+The drivers are one-shot and in-process; :mod:`repro.campaign` layers
+parallel, persistent, resumable grid sweeps over them.
 """
 
+from .bandwidth_study import run_bandwidth_cell, run_bandwidth_grid
+from .endpoint_study import run_endpoint_study
+from .lag_study import run_all_platforms, run_lag_scenario
+from .mobile_study import run_figure19, run_mobile_scenario, run_table4
+from .qoe_study import run_qoe_cell, run_qoe_grid
 from .scale import ExperimentScale, PAPER_SCALE, QUICK_SCALE
 
-__all__ = ["ExperimentScale", "PAPER_SCALE", "QUICK_SCALE"]
+__all__ = [
+    "ExperimentScale",
+    "PAPER_SCALE",
+    "QUICK_SCALE",
+    "run_all_platforms",
+    "run_bandwidth_cell",
+    "run_bandwidth_grid",
+    "run_endpoint_study",
+    "run_figure19",
+    "run_lag_scenario",
+    "run_mobile_scenario",
+    "run_qoe_cell",
+    "run_qoe_grid",
+    "run_table4",
+]

@@ -8,7 +8,8 @@ that trade fidelity for runtime without changing any mechanism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
 
 from ..errors import ConfigurationError
 from ..media.frames import FrameSpec
@@ -50,6 +51,45 @@ class ExperimentScale:
             )
         if self.probe_count < 1:
             raise ConfigurationError("probe_count must be >= 1")
+
+    def with_seed(self, seed: int) -> "ExperimentScale":
+        """The same profile reseeded (per-campaign-cell seeds)."""
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable form (persisted in campaign stores)."""
+        return {
+            "sessions": self.sessions,
+            "lag_session_duration_s": self.lag_session_duration_s,
+            "qoe_session_duration_s": self.qoe_session_duration_s,
+            "content_spec": {
+                "width": self.content_spec.width,
+                "height": self.content_spec.height,
+                "fps": self.content_spec.fps,
+            },
+            "probe_count": self.probe_count,
+            "score_frames": self.score_frames,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentScale":
+        """Rebuild a profile persisted with :meth:`to_dict`."""
+        try:
+            spec = data["content_spec"]
+            return cls(
+                sessions=int(data["sessions"]),
+                lag_session_duration_s=float(data["lag_session_duration_s"]),
+                qoe_session_duration_s=float(data["qoe_session_duration_s"]),
+                content_spec=FrameSpec(
+                    int(spec["width"]), int(spec["height"]), int(spec["fps"])
+                ),
+                probe_count=int(data["probe_count"]),
+                score_frames=int(data["score_frames"]),
+                seed=int(data["seed"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad scale record: {exc!r}") from exc
 
 
 #: Fast profile used by the benchmark suite (seconds per scenario).
