@@ -1,0 +1,92 @@
+"""Batched vs per-frame QoE scoring microbenchmark.
+
+Times the two entry points of the scoring engine on one recording's
+worth of frames: the legacy shape (a Python loop of per-frame
+``psnr``/``ssim``/``vifp`` calls, as the seed's ``score_video`` ran)
+against the batched ``(T, H, W)`` kernels behind today's
+:func:`repro.qoe.score_video`.  The series must agree to <= 1e-8
+(bit-identical in practice); the timing delta is what ISSUE 2's
+batching bought, and a regression here means a stack kernel has
+quietly fallen back to per-frame behaviour.
+
+Run with ``pytest benchmarks/test_perf_qoe_batch.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.media.feeds import HighMotionFeed
+from repro.qoe import (
+    psnr,
+    psnr_stack,
+    ssim,
+    ssim_stack,
+    vifp,
+    vifp_stack,
+)
+
+#: Frames scored per round -- one QoE recording at the quick scale.
+FRAMES = 40
+
+
+@pytest.fixture(scope="module")
+def frame_pairs(scale):
+    feed = HighMotionFeed(scale.content_spec)
+    reference = np.stack(feed.frames(FRAMES))
+    rng = np.random.default_rng(scale.seed)
+    distorted = np.clip(
+        reference.astype(np.float64) + rng.normal(0, 8, reference.shape),
+        0,
+        255,
+    ).astype(np.uint8)
+    return reference, distorted
+
+
+@pytest.fixture(scope="module")
+def scale():
+    from .conftest import BENCH_SCALE
+
+    return BENCH_SCALE
+
+
+def _score_per_frame(reference, distorted):
+    return (
+        [psnr(r, d) for r, d in zip(reference, distorted)],
+        [ssim(r, d) for r, d in zip(reference, distorted)],
+        [vifp(r, d) for r, d in zip(reference, distorted)],
+    )
+
+
+def _score_batched(reference, distorted):
+    return (
+        psnr_stack(reference, distorted),
+        ssim_stack(reference, distorted),
+        vifp_stack(reference, distorted),
+    )
+
+
+def test_per_frame_scoring(benchmark, frame_pairs):
+    from .conftest import run_once
+
+    reference, distorted = frame_pairs
+    series = run_once(benchmark, _score_per_frame, reference, distorted)
+    assert len(series[0]) == FRAMES
+
+
+def test_batched_scoring(benchmark, frame_pairs):
+    from .conftest import run_once
+
+    reference, distorted = frame_pairs
+    series = run_once(benchmark, _score_batched, reference, distorted)
+    assert len(series[0]) == FRAMES
+
+
+def test_batched_agrees_with_per_frame(frame_pairs):
+    """The ISSUE 2 acceptance bound, checked where it is benchmarked."""
+    reference, distorted = frame_pairs
+    per_frame = _score_per_frame(reference, distorted)
+    batched = _score_batched(reference, distorted)
+    for loop_series, stack_series in zip(per_frame, batched):
+        assert np.abs(np.asarray(loop_series) - stack_series).max() <= 1e-8

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..errors import SessionError
 from ..media.frames import FrameSpec
-from ..media.padding import pad_size, resize_frame
+from ..media.padding import pad_size, resize_frames
 from ..media.video_codec import VideoDecoder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -40,6 +40,14 @@ DEFAULT_RESAMPLE = 0.85
 
 class DesktopRecorder:
     """Samples a decoded video flow at a fixed recording frame rate.
+
+    Ticks are scheduled at absolute multiples of the frame period from
+    the recording start, so timestamps stay exact over arbitrarily
+    long sessions (repeated relative ``schedule(1/fps)`` calls would
+    accumulate float rounding error).  The screen-scaling round trip
+    is applied lazily in batches: ticks only grab and annotate frames,
+    and the resample runs as a vectorized pass over the pending stack
+    the first time :attr:`frames` is read.
 
     Attributes:
         frames: Recorded (uint8) frames, in tick order.
@@ -63,11 +71,31 @@ class DesktopRecorder:
         self.record_fps = record_fps if record_fps is not None else spec.fps
         self.resample_factor = resample_factor
         self.draw_widgets = draw_widgets
-        self.frames: List[np.ndarray] = []
         self.timestamps: List[float] = []
+        self._finalized: List[np.ndarray] = []
+        self._pending: List[np.ndarray] = []
         self._decoder: Optional[VideoDecoder] = None
         self._running = False
         self._stop_at = 0.0
+        self._record_start = 0.0
+        self._tick_index = 0
+
+    @property
+    def frames(self) -> List[np.ndarray]:
+        """Recorded frames, with the capture resample applied."""
+        self._finalize_pending()
+        return self._finalized
+
+    def frames_head(self, count: int) -> List[np.ndarray]:
+        """The first ``count`` recorded frames.
+
+        Applies the capture resample only to that prefix; scoring
+        pipelines with a frame cap use this to skip resampling frames
+        that can never be scored.  Later :attr:`frames` reads finalize
+        the remainder, so the full recording stays available.
+        """
+        self._finalize_pending(count)
+        return self._finalized[:count]
 
     def start(
         self, decoder: VideoDecoder, duration_s: float, start_delay_s: float = 0.0
@@ -82,6 +110,8 @@ class DesktopRecorder:
 
     def _begin(self, duration_s: float) -> None:
         simulator = self._client.host.network.simulator
+        self._record_start = simulator.now
+        self._tick_index = 0
         self._stop_at = simulator.now + duration_s
         self._tick()
 
@@ -98,27 +128,59 @@ class DesktopRecorder:
             # Nothing rendered yet: the desktop shows the meeting UI on
             # a dark background.
             frame = np.zeros(self.spec.shape, dtype=np.uint8)
-        self.frames.append(self._screen_pipeline(frame))
+        rendered = frame.copy()
+        if self.draw_widgets:
+            rendered = self._overlay_widgets(rendered)
+        self._pending.append(rendered)
         self.timestamps.append(simulator.now)
-        simulator.schedule(1.0 / self.record_fps, self._tick)
+        self._tick_index += 1
+        simulator.schedule_at(
+            self._record_start + self._tick_index / self.record_fps, self._tick
+        )
 
     # ----------------------------------------------------------------- #
     # Screen rendering + capture model.
     # ----------------------------------------------------------------- #
 
-    def _screen_pipeline(self, frame: np.ndarray) -> np.ndarray:
-        rendered = frame.copy()
-        if self.draw_widgets:
-            rendered = self._overlay_widgets(rendered)
-        if self.resample_factor < 1.0:
-            small_shape = (
-                max(16, int(self.spec.height * self.resample_factor)),
-                max(16, int(self.spec.width * self.resample_factor)),
+    def _finalize_pending(self, count: Optional[int] = None) -> None:
+        """Apply the screen-scaling round trip to grabbed frames.
+
+        Runs of equally-shaped pending frames are resampled as one
+        ``(T, H, W)`` stack -- bit-compatible with resizing each frame
+        on its own, at a fraction of the per-frame overhead.  With
+        ``count``, only enough frames to make the first ``count``
+        available are processed.
+        """
+        if not self._pending:
+            return
+        if count is None:
+            needed = len(self._pending)
+        else:
+            needed = min(max(0, count - len(self._finalized)), len(self._pending))
+            if needed == 0:
+                return
+        pending = self._pending[:needed]
+        del self._pending[:needed]
+        if self.resample_factor >= 1.0:
+            self._finalized.extend(pending)
+            return
+        small_shape = (
+            max(16, int(self.spec.height * self.resample_factor)),
+            max(16, int(self.spec.width * self.resample_factor)),
+        )
+        start = 0
+        for end in range(1, len(pending) + 1):
+            if (
+                end < len(pending)
+                and pending[end].shape == pending[start].shape
+            ):
+                continue
+            stack = np.stack(pending[start:end])
+            resampled = resize_frames(
+                resize_frames(stack, small_shape), self.spec.shape
             )
-            rendered = resize_frame(
-                resize_frame(rendered, small_shape), self.spec.shape
-            )
-        return rendered
+            self._finalized.extend(resampled)
+            start = end
 
     def _overlay_widgets(self, frame: np.ndarray) -> np.ndarray:
         """Draw client UI chrome confined to the padding margin.

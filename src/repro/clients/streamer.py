@@ -150,6 +150,7 @@ class VideoStreamer(_SenderBase):
                 * platform.encoder_efficiency,
             )
         self._start_time = 0.0
+        self._tick_index = 0
         self.frames_sent = 0
         self.frames_skipped = 0
         self._wire_debt_s: Dict[StreamLayer, float] = {
@@ -165,6 +166,7 @@ class VideoStreamer(_SenderBase):
 
     def _begin(self, duration_s: float) -> None:
         self._start_time = self.simulator.now
+        self._tick_index = 0
         self._stop_at = self._start_time + duration_s
         self._tick()
 
@@ -217,7 +219,13 @@ class VideoStreamer(_SenderBase):
                     delay=index * pace,
                 )
         self.frames_sent += 1
-        self.simulator.schedule(interval, self._tick)
+        # Absolute-time scheduling: multiples of the frame period from
+        # the stream start, so long sessions never drift off the frame
+        # clock the way accumulated relative delays would.
+        self._tick_index += 1
+        self.simulator.schedule_at(
+            self._start_time + self._tick_index * interval, self._tick
+        )
 
     def _layer_wire_rate(self, layer) -> float:
         """The layer's intended absolute wire rate (after adaptation)."""
@@ -312,6 +320,7 @@ class ModelVideoStreamer(_SenderBase):
 
     def _begin(self, duration_s: float) -> None:
         self._start_time = self.simulator.now
+        self._frame_index = 0
         self._stop_at = self._start_time + duration_s
         self._tick()
 
@@ -351,7 +360,9 @@ class ModelVideoStreamer(_SenderBase):
                 remaining -= chunk
         self._frame_index += 1
         self.frames_sent += 1
-        self.simulator.schedule(interval, self._tick)
+        self.simulator.schedule_at(
+            self._start_time + self._frame_index * interval, self._tick
+        )
 
     def _on_feedback(self, flow_id: str, report: dict) -> None:
         if flow_id != self.wiring.video_flow(self.client.name, StreamLayer.HIGH):
@@ -378,6 +389,7 @@ class AudioStreamer(_SenderBase):
             raise SessionError(f"{client.name} has no microphone attached")
         self.codec = AudioCodec(config)
         self._start_time = 0.0
+        self._tick_index = 0
         self.frames_sent = 0
 
     def start(self, duration_s: float, start_delay_s: float = 0.0) -> None:
@@ -388,6 +400,7 @@ class AudioStreamer(_SenderBase):
 
     def _begin(self, duration_s: float) -> None:
         self._start_time = self.simulator.now
+        self._tick_index = 0
         self._stop_at = self._start_time + duration_s
         self._tick()
 
@@ -414,6 +427,9 @@ class AudioStreamer(_SenderBase):
                 delay=k * FRAME_DURATION_S,
             )
             self.frames_sent += 1
-        self.simulator.schedule(
-            AUDIO_FRAMES_PER_TICK * FRAME_DURATION_S, self._tick
+        self._tick_index += 1
+        self.simulator.schedule_at(
+            self._start_time
+            + self._tick_index * AUDIO_FRAMES_PER_TICK * FRAME_DURATION_S,
+            self._tick,
         )

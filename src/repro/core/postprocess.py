@@ -17,14 +17,15 @@ score."
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from ..errors import AnalysisError
 from ..media.frames import FrameSource
-from ..media.padding import PaddedSource, resize_frame
+from ..media.padding import PaddedSource, resize_frames
 from ..media.sync import (
+    PROBE_FRAMES,
     align_recordings,
     find_audio_offset,
     normalize_loudness,
@@ -36,16 +37,109 @@ from ..qoe.vqmt import VideoQualityReport, score_video
 
 def prepare_recorded_frames(
     padded_feed: PaddedSource, recorded: Sequence[np.ndarray]
-) -> List[np.ndarray]:
-    """Crop the padding and restore the content resolution."""
-    if not recorded:
+) -> np.ndarray:
+    """Crop the padding and restore the content resolution.
+
+    The whole recording is processed as one ``(T, H, W)`` stack: the
+    crop is a single slice and the resize one vectorized pass through
+    the cached gather plan.  Returns the prepared frame stack.
+    """
+    if len(recorded) == 0:
         raise AnalysisError("no recorded frames to prepare")
+    try:
+        stack = np.asarray(recorded)
+    except ValueError as exc:
+        raise AnalysisError(f"recorded frames do not stack: {exc}") from exc
+    if stack.ndim != 3 or stack.dtype == object:
+        raise AnalysisError(
+            f"expected equally-shaped recorded frames, got {stack.shape}"
+        )
     content_shape = padded_feed.content.spec.shape
-    prepared = []
-    for frame in recorded:
-        cropped = padded_feed.crop(frame)
-        prepared.append(resize_frame(cropped, content_shape))
-    return prepared
+    return resize_frames(padded_feed.crop(stack), content_shape)
+
+
+def recording_prefix_frames(
+    skip_leading: int = 2,
+    max_shift: int = 30,
+    max_frames: int | None = None,
+) -> int | None:
+    """Recorded frames that can influence a capped scoring run.
+
+    The alignment search probes only the first ``PROBE_FRAMES +
+    max_shift`` prepared pairs and the scored window is capped at
+    ``max_frames``, so a recording prefix of this length produces
+    byte-identical scores; pass it to
+    :meth:`~repro.clients.recorder.DesktopRecorder.frames_head` to
+    skip resampling the rest.  ``None`` (uncapped) means every frame
+    matters.
+    """
+    if max_frames is None:
+        return None
+    return skip_leading + max_shift + PROBE_FRAMES + max_frames
+
+
+def align_recorded_video(
+    padded_feed: PaddedSource,
+    recorded: Sequence[np.ndarray],
+    skip_leading: int = 2,
+    max_shift: int = 30,
+    max_frames: int | None = None,
+    reference: np.ndarray | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Crop, resize and align a recording against its reference feed.
+
+    Returns equal-length ``(reference, recorded)`` frame stacks ready
+    for :func:`repro.qoe.vqmt.score_video` (callers may concatenate
+    several recordings into one scoring pass -- the per-frame series
+    are independent across frames).
+
+    Args:
+        padded_feed: The injected (padded) feed; its content feed is
+            the scoring reference.
+        recorded: Desktop-recorder frames from a receiving client.
+        skip_leading: Recorder frames to drop from the front (black
+            frames before the first decode).
+        max_shift: Alignment search range in frames.
+        max_frames: Cap on returned frames (None keeps everything).
+        reference: Optional pre-generated reference window starting at
+            ``max(0, skip_leading - max_shift)`` of the content feed
+            and covering at least ``prepared + 2 * max_shift`` frames;
+            callers scoring several recordings of the same feed pass
+            one shared window instead of regenerating it.
+    """
+    usable = recorded[skip_leading:]
+    if len(usable) == 0:
+        raise AnalysisError("recording too short after skip_leading")
+    if max_frames is not None:
+        # The alignment probes only the first PROBE_FRAMES + max_shift
+        # pairs and the scored window is capped, so frames beyond this
+        # prefix can never influence the result -- skip preparing them.
+        usable = usable[: max_shift + PROBE_FRAMES + max_frames]
+    prepared = prepare_recorded_frames(padded_feed, usable)
+    # The recording's k-th kept frame shows feed content from roughly
+    # frame ``skip_leading + k`` (recorder and feed tick at the same
+    # fps); generate the reference window around that point so the
+    # alignment search starts near the truth.
+    ref_start = max(0, skip_leading - max_shift)
+    window = len(prepared) + 2 * max_shift
+    if reference is None:
+        reference = np.asarray(padded_feed.content.frames(window, start=ref_start))
+    elif len(reference) < window:
+        raise AnalysisError(
+            f"shared reference window holds {len(reference)} frames, "
+            f"need at least {window}"
+        )
+    else:
+        # Trim so results match a self-generated window exactly (the
+        # overlap after alignment depends on the reference length).
+        reference = np.asarray(reference)[:window]
+    _shift, ref_aligned, rec_aligned = align_recordings(
+        reference, prepared, max_shift=max_shift
+    )
+    if max_frames is not None:
+        ref_aligned = ref_aligned[:max_frames]
+        rec_aligned = rec_aligned[:max_frames]
+    return np.asarray(ref_aligned), np.asarray(rec_aligned)
 
 
 def score_recorded_video(
@@ -68,24 +162,13 @@ def score_recorded_video(
         compute_vifp: Disable to skip the expensive VIFp series.
         max_frames: Cap on scored frames (None scores everything).
     """
-    usable = list(recorded[skip_leading:])
-    if not usable:
-        raise AnalysisError("recording too short after skip_leading")
-    prepared = prepare_recorded_frames(padded_feed, usable)
-    # The recording's k-th kept frame shows feed content from roughly
-    # frame ``skip_leading + k`` (recorder and feed tick at the same
-    # fps); generate the reference window around that point so the
-    # alignment search starts near the truth.
-    ref_start = max(0, skip_leading - max_shift)
-    reference = padded_feed.content.frames(
-        len(prepared) + 2 * max_shift, start=ref_start
+    ref_aligned, rec_aligned = align_recorded_video(
+        padded_feed,
+        recorded,
+        skip_leading=skip_leading,
+        max_shift=max_shift,
+        max_frames=max_frames,
     )
-    _shift, ref_aligned, rec_aligned = align_recordings(
-        reference, prepared, max_shift=max_shift
-    )
-    if max_frames is not None:
-        ref_aligned = ref_aligned[:max_frames]
-        rec_aligned = rec_aligned[:max_frames]
     return score_video(ref_aligned, rec_aligned, compute_vifp=compute_vifp)
 
 

@@ -15,11 +15,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.postprocess import score_recorded_video
+from ..core.postprocess import align_recorded_video, recording_prefix_frames
+from ..media.sync import PROBE_FRAMES
 from ..core.results import QoeSessionResult, RateSummary
 from ..core.session import SessionConfig
 from ..core.testbed import Testbed, TestbedConfig
 from ..errors import MeasurementError
+from ..qoe.vqmt import score_video
 from .scale import ExperimentScale, QUICK_SCALE
 
 #: Participant rosters: host first, then joiners in order (Section
@@ -109,17 +111,51 @@ def run_qoe_cell(
             motion=motion,
             session_index=session_index,
         )
-        for receiver, recorder in artifacts.recorders.items():
-            report = score_recorded_video(
+        # Align every receiver's recording, then score all of them in
+        # one batched pass: the per-frame series are independent, so
+        # concatenating the aligned stacks yields identical values to
+        # scoring each recording on its own.  All receivers replay the
+        # same injected feed, so one shared reference window serves
+        # every alignment, and only the recording prefix that can be
+        # scored is pulled (and resampled) from each recorder.
+        skip_leading, max_shift = 2, 30
+        prefix = recording_prefix_frames(
+            skip_leading=skip_leading,
+            max_shift=max_shift,
+            max_frames=scale.score_frames,
+        )
+        reference = None
+        if prefix is not None:
+            window = (prefix - skip_leading) + 2 * max_shift
+            reference = np.asarray(artifacts.padded_feed.content.frames(window))
+        aligned = {
+            receiver: align_recorded_video(
                 artifacts.padded_feed,
-                recorder.frames,
-                compute_vifp=compute_vifp,
+                recorder.frames if prefix is None else recorder.frames_head(prefix),
+                skip_leading=skip_leading,
+                max_shift=max_shift,
                 max_frames=scale.score_frames,
+                reference=reference,
             )
-            session.psnr[receiver] = report.mean_psnr
-            session.ssim[receiver] = report.mean_ssim
+            for receiver, recorder in artifacts.recorders.items()
+        }
+        if aligned:
+            report = score_video(
+                np.concatenate([ref for ref, _rec in aligned.values()]),
+                np.concatenate([rec for _ref, rec in aligned.values()]),
+                compute_vifp=compute_vifp,
+            )
+        offset = 0
+        for receiver, (_ref, rec) in aligned.items():
+            count = len(rec)
+            window = slice(offset, offset + count)
+            session.psnr[receiver] = float(np.mean(report.psnr_series[window]))
+            session.ssim[receiver] = float(np.mean(report.ssim_series[window]))
             if compute_vifp:
-                session.vifp[receiver] = report.mean_vifp
+                session.vifp[receiver] = float(
+                    np.mean(report.vifp_series[window])
+                )
+            offset += count
         session.rates = artifacts.rate_summary()
         session_results.append(session)
 

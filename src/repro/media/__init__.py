@@ -23,7 +23,7 @@ from .audio_codec import AudioCodec, AudioCodecConfig, EncodedAudioFrame
 from .feeds import FlashFeed, HighMotionFeed, LowMotionFeed, StaticFeed
 from .frames import FrameSource, FrameSpec
 from .loopback import VirtualCamera, VirtualMicrophone
-from .padding import add_padding, crop_padding, resize_frame
+from .padding import add_padding, crop_padding, resize_frame, resize_frames
 from .sync import align_recordings, find_audio_offset, normalize_loudness
 from .video_codec import (
     EncodedFrame,
@@ -58,4 +58,5 @@ __all__ = [
     "find_audio_offset",
     "normalize_loudness",
     "resize_frame",
+    "resize_frames",
 ]

@@ -17,67 +17,138 @@ from scipy import signal as sp_signal
 from ..errors import AnalysisError
 
 
+#: Frame pairs probed per candidate shift during the trim search.
+PROBE_FRAMES = 10
+
+#: Below this centred-frame norm a frame is considered flat (no
+#: texture); a uint8 frame with any pixel off its mean is well above.
+_FLAT_NORM = 1e-6
+
+#: Threshold on the product of two centred norms below which the
+#: normalised correlation is undefined and the degenerate rules apply.
+_DEGENERATE_DENOM = 1e-12
+
+
 def _frame_similarity(a: np.ndarray, b: np.ndarray) -> float:
     """Fast normalised-correlation proxy for per-frame SSIM.
 
     The trim search only needs a ranking over integer shifts; zero-mean
     normalised correlation ranks shifts identically to SSIM for this
     purpose and is far cheaper than the full windowed metric.
+
+    Degenerate (flat-frame) pairs carry no texture to correlate: two
+    flat frames count as identical only when their *brightness* also
+    matches -- mean subtraction alone would map e.g. an all-black and
+    an all-white frame both to zero vectors and score them 1.0.
     """
     fa = a.astype(np.float64).ravel()
     fb = b.astype(np.float64).ravel()
-    fa -= fa.mean()
-    fb -= fb.mean()
-    denom = np.linalg.norm(fa) * np.linalg.norm(fb)
-    if denom < 1e-12:
-        return 1.0 if np.allclose(fa, fb) else 0.0
+    mean_a = float(fa.mean())
+    mean_b = float(fb.mean())
+    fa -= mean_a
+    fb -= mean_b
+    norm_a = float(np.linalg.norm(fa))
+    norm_b = float(np.linalg.norm(fb))
+    denom = norm_a * norm_b
+    if denom < _DEGENERATE_DENOM:
+        both_flat = norm_a < _FLAT_NORM and norm_b < _FLAT_NORM
+        return 1.0 if both_flat and np.isclose(mean_a, mean_b) else 0.0
     return float(np.dot(fa, fb) / denom)
+
+
+def _probe_similarity_matrix(
+    frames_a: np.ndarray, frames_b: np.ndarray
+) -> np.ndarray:
+    """Pairwise :func:`_frame_similarity` of two frame stacks.
+
+    Returns ``S[i, j] = similarity(frames_a[i], frames_b[j])`` in one
+    matrix product over the centred, flattened frames, with the same
+    degenerate-pair rules as the scalar function.
+    """
+    a = frames_a.reshape(len(frames_a), -1).astype(np.float64)
+    b = frames_b.reshape(len(frames_b), -1).astype(np.float64)
+    mean_a = a.mean(axis=1)
+    mean_b = b.mean(axis=1)
+    a -= mean_a[:, None]
+    b -= mean_b[:, None]
+    norm_a = np.linalg.norm(a, axis=1)
+    norm_b = np.linalg.norm(b, axis=1)
+    denom = norm_a[:, None] * norm_b[None, :]
+    degenerate = denom < _DEGENERATE_DENOM
+    scores = np.matmul(a, b.T) / np.where(degenerate, 1.0, denom)
+    flat_match = (
+        (norm_a[:, None] < _FLAT_NORM)
+        & (norm_b[None, :] < _FLAT_NORM)
+        & np.isclose(mean_a[:, None], mean_b[None, :])
+    )
+    return np.where(degenerate, flat_match.astype(np.float64), scores)
+
+
+def _as_stack(frames: "Sequence[np.ndarray] | np.ndarray") -> np.ndarray:
+    try:
+        stack = np.asarray(frames)
+    except ValueError as exc:
+        raise AnalysisError(f"frames do not stack: {exc}") from exc
+    if stack.ndim != 3 or stack.dtype == object:
+        raise AnalysisError(
+            f"expected equally-shaped (H, W) frames, got shape {stack.shape}"
+        )
+    return stack
 
 
 def align_recordings(
     reference: Sequence[np.ndarray],
     recorded: Sequence[np.ndarray],
     max_shift: int = 30,
-) -> Tuple[int, List[np.ndarray], List[np.ndarray]]:
+) -> Tuple[int, Sequence[np.ndarray], Sequence[np.ndarray]]:
     """Find the shift aligning a recording to its reference feed.
 
     Tries integer frame shifts in ``[-max_shift, max_shift]``, scoring
     each by mean frame similarity over the overlap, and returns
     ``(best_shift, reference_aligned, recorded_aligned)`` where both
-    lists have equal length.  A positive shift means the recording
-    starts ``shift`` frames later than the reference.
+    aligned stacks have equal length.  A positive shift means the
+    recording starts ``shift`` frames later than the reference.
+
+    All candidate shifts are scored from one pairwise correlation
+    matrix over the probe window (the first ``PROBE_FRAMES +
+    max_shift`` frames of each side) rather than a per-shift Python
+    loop; ties keep the smallest shift, as the sequential search did.
 
     Raises:
         AnalysisError: If either sequence is empty or no overlap
             exists at any shift.
     """
-    if not reference or not recorded:
+    if len(reference) == 0 or len(recorded) == 0:
         raise AnalysisError("cannot align empty frame sequences")
-    best_shift = None
-    best_score = -np.inf
-    probe_count = min(10, len(reference), len(recorded))
-    for shift in range(-max_shift, max_shift + 1):
-        scores = []
-        for k in range(probe_count):
-            ref_index = k if shift >= 0 else k - shift
-            rec_index = k + shift if shift >= 0 else k
-            if ref_index >= len(reference) or rec_index >= len(recorded):
-                break
-            scores.append(
-                _frame_similarity(reference[ref_index], recorded[rec_index])
-            )
-        if scores and float(np.mean(scores)) > best_score:
-            best_score = float(np.mean(scores))
-            best_shift = shift
-    if best_shift is None:
+    ref = _as_stack(reference)
+    rec = _as_stack(recorded)
+    probe_count = min(PROBE_FRAMES, len(ref), len(rec))
+    window_ref = min(len(ref), probe_count + max_shift)
+    window_rec = min(len(rec), probe_count + max_shift)
+    similarity = _probe_similarity_matrix(ref[:window_ref], rec[:window_rec])
+
+    shifts = np.arange(-max_shift, max_shift + 1)
+    probes = np.arange(probe_count)
+    forward = shifts[:, None] >= 0
+    ref_idx = np.where(forward, probes[None, :], probes[None, :] - shifts[:, None])
+    rec_idx = np.where(forward, probes[None, :] + shifts[:, None], probes[None, :])
+    valid = (ref_idx < len(ref)) & (rec_idx < len(rec))
+    gathered = similarity[
+        np.minimum(ref_idx, window_ref - 1), np.minimum(rec_idx, window_rec - 1)
+    ]
+    counts = valid.sum(axis=1)
+    if not np.any(counts > 0):
         raise AnalysisError("no overlap at any shift; cannot align")
+    sums = np.where(valid, gathered, 0.0).sum(axis=1)
+    scores = np.where(counts > 0, sums / np.maximum(counts, 1), -np.inf)
+    best_shift = int(shifts[int(np.argmax(scores))])
 
     if best_shift >= 0:
-        ref_slice = list(reference[: len(recorded) - best_shift])
-        rec_slice = list(recorded[best_shift:])
+        ref_slice = ref[: len(rec) - best_shift]
+        rec_slice = rec[best_shift:]
     else:
-        ref_slice = list(reference[-best_shift:])
-        rec_slice = list(recorded[: len(reference) + best_shift])
+        ref_slice = ref[-best_shift:]
+        rec_slice = rec[: len(ref) + best_shift]
     overlap = min(len(ref_slice), len(rec_slice))
     return best_shift, ref_slice[:overlap], rec_slice[:overlap]
 

@@ -75,7 +75,8 @@ class Simulator:
             until: Stop once the clock would pass this time; events at
                 exactly ``until`` are executed.  ``None`` drains the
                 queue completely.
-            max_events: Safety valve against runaway event loops.
+            max_events: Safety valve against runaway event loops: at
+                most this many events run before the error fires.
 
         Raises:
             SimulationError: If re-entered or if ``max_events`` fires.
@@ -89,15 +90,15 @@ class Simulator:
                 when, _seq, callback, args = self._queue[0]
                 if until is not None and when > until:
                     break
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; possible event storm"
+                    )
                 heapq.heappop(self._queue)
                 self._now = when
                 callback(*args)
                 self._processed += 1
                 executed += 1
-                if executed > max_events:
-                    raise SimulationError(
-                        f"exceeded {max_events} events; possible event storm"
-                    )
             if until is not None and self._now < until:
                 self._now = until
         finally:

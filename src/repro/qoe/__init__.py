@@ -15,24 +15,36 @@ published definitions, on numpy luma frames and mono waveforms:
   deltas ("significant enough to downgrade MOS ratings by one level"),
 * :class:`repro.qoe.vqmt.VideoQualityReport` — frame-by-frame scoring
   facade mirroring how the paper runs VQMT.
+
+Every video metric has a batched ``*_stack`` form operating on
+``(T, H, W)`` frame stacks in one vectorized pass (bit-compatible with
+the per-frame functions); :mod:`repro.qoe.kernels` holds the shared
+cached Gaussian windows and windowed statistics they are built on.
 """
 
+from .kernels import as_frame_stack, gaussian_blur_stack, gaussian_kernel
 from .mos import MOS_LEVELS, mos_from_psnr, mos_from_ssim
-from .psnr import psnr
-from .ssim import ssim
-from .vifp import vifp
+from .psnr import psnr, psnr_stack
+from .ssim import ssim, ssim_stack
+from .vifp import vifp, vifp_stack
 from .visqol import mos_lqo, nsim_similarity
 from .vqmt import VideoQualityReport, score_video
 
 __all__ = [
     "MOS_LEVELS",
     "VideoQualityReport",
+    "as_frame_stack",
+    "gaussian_blur_stack",
+    "gaussian_kernel",
     "mos_from_psnr",
     "mos_from_ssim",
     "mos_lqo",
     "nsim_similarity",
     "psnr",
+    "psnr_stack",
     "score_video",
     "ssim",
+    "ssim_stack",
     "vifp",
+    "vifp_stack",
 ]

@@ -4,6 +4,9 @@ The most basic of the three video metrics the paper reports.  Defined
 as ``10 * log10(MAX^2 / MSE)`` with ``MAX = 255`` for 8-bit luma.
 Identical frames have infinite PSNR; we cap at a configurable ceiling
 (VQMT caps similarly) so averages over frames stay finite.
+
+:func:`psnr_stack` scores a whole ``(T, H, W)`` stack of frame pairs
+in one vectorized pass; :func:`psnr` is the single-frame wrapper.
 """
 
 from __future__ import annotations
@@ -11,12 +14,38 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import AnalysisError
+from .kernels import as_frame_stack
 
 #: Cap applied to the PSNR of (nearly) identical frames.
 PSNR_CAP_DB = 60.0
 
 #: Peak value of 8-bit luma.
 PEAK = 255.0
+
+
+def psnr_stack(
+    reference: np.ndarray,
+    distorted: np.ndarray,
+    cap_db: float = PSNR_CAP_DB,
+) -> np.ndarray:
+    """Per-frame PSNR series of two ``(T, H, W)`` frame stacks.
+
+    Bit-compatible with calling :func:`psnr` on each frame pair.
+
+    Raises:
+        AnalysisError: On shape mismatch or empty frames.
+    """
+    ref = as_frame_stack(reference)
+    dis = as_frame_stack(distorted)
+    if ref.shape != dis.shape:
+        raise AnalysisError(f"shape mismatch: {ref.shape} vs {dis.shape}")
+    if ref.size == 0:
+        raise AnalysisError("cannot compute PSNR of empty frames")
+    diff = ref.astype(np.float64) - dis.astype(np.float64)
+    mse = np.mean(diff * diff, axis=(1, 2))
+    safe_mse = np.where(mse > 0.0, mse, 1.0)
+    values = 10.0 * np.log10(PEAK * PEAK / safe_mse)
+    return np.where(mse > 0.0, np.minimum(values, cap_db), cap_db)
 
 
 def psnr(reference: np.ndarray, distorted: np.ndarray, cap_db: float = PSNR_CAP_DB) -> float:
@@ -34,12 +63,4 @@ def psnr(reference: np.ndarray, distorted: np.ndarray, cap_db: float = PSNR_CAP_
         raise AnalysisError(
             f"shape mismatch: {reference.shape} vs {distorted.shape}"
         )
-    if reference.size == 0:
-        raise AnalysisError("cannot compute PSNR of empty frames")
-    ref = reference.astype(np.float64)
-    dis = distorted.astype(np.float64)
-    mse = float(np.mean((ref - dis) ** 2))
-    if mse <= 0.0:
-        return cap_db
-    value = 10.0 * np.log10(PEAK * PEAK / mse)
-    return float(min(value, cap_db))
+    return float(psnr_stack(reference[None], distorted[None], cap_db)[0])

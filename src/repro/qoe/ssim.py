@@ -4,14 +4,18 @@ The standard single-scale SSIM with an 11x11 Gaussian window
 (sigma = 1.5) and the usual stabilising constants, as computed by VQMT.
 Returns the mean SSIM map value in [-1, 1] (typically [0, 1] for
 video content).
+
+:func:`ssim_stack` scores a whole ``(T, H, W)`` stack of frame pairs
+in one vectorized pass over shared windowed statistics;
+:func:`ssim`/:func:`ssim_map` are the single-frame wrappers.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy import ndimage
 
 from ..errors import AnalysisError
+from .kernels import as_frame_stack, block_frames, window_stats
 
 #: Stabilising constants from the SSIM paper for 8-bit dynamic range.
 _K1, _K2 = 0.01, 0.03
@@ -23,8 +27,57 @@ C2 = (_K2 * _L) ** 2
 WINDOW_SIGMA = 1.5
 
 
-def _local_mean(plane: np.ndarray) -> np.ndarray:
-    return ndimage.gaussian_filter(plane, sigma=WINDOW_SIGMA, mode="reflect")
+def ssim_map_stack(reference: np.ndarray, distorted: np.ndarray) -> np.ndarray:
+    """Per-pixel SSIM index maps of a ``(T, H, W)`` stack of pairs.
+
+    Bit-compatible with computing :func:`ssim_map` per frame.
+
+    Raises:
+        AnalysisError: On shape mismatch or frames smaller than 8x8.
+    """
+    ref = as_frame_stack(reference)
+    dis = as_frame_stack(distorted)
+    if ref.shape != dis.shape:
+        raise AnalysisError(f"shape mismatch: {ref.shape} vs {dis.shape}")
+    if ref.shape[0] == 0 or min(ref.shape[1:]) < 8:
+        raise AnalysisError("SSIM needs 2-D frames of at least 8x8")
+    x = ref.astype(np.float64)
+    y = dis.astype(np.float64)
+
+    mu_x, mu_y, sigma_xx, sigma_yy, sigma_xy = window_stats(
+        x, y, WINDOW_SIGMA, clamp=False
+    )
+    mu_xx = mu_x * mu_x
+    mu_yy = mu_y * mu_y
+    mu_xy = mu_x * mu_y
+
+    numerator = (2.0 * mu_xy + C1) * (2.0 * sigma_xy + C2)
+    denominator = (mu_xx + mu_yy + C1) * (sigma_xx + sigma_yy + C2)
+    return numerator / denominator
+
+
+def ssim_stack(reference: np.ndarray, distorted: np.ndarray) -> np.ndarray:
+    """Per-frame mean-SSIM series of two ``(T, H, W)`` frame stacks.
+
+    Maps are computed in cache-sized blocks of frames; the values are
+    bit-compatible with per-frame :func:`ssim` calls either way.
+    """
+    ref = as_frame_stack(reference)
+    dis = as_frame_stack(distorted)
+    step = block_frames(ref.shape[1:])
+    if len(ref) <= step:
+        return np.mean(ssim_map_stack(ref, dis), axis=(1, 2))
+    if ref.shape != dis.shape:
+        raise AnalysisError(f"shape mismatch: {ref.shape} vs {dis.shape}")
+    return np.concatenate(
+        [
+            np.mean(
+                ssim_map_stack(ref[i : i + step], dis[i : i + step]),
+                axis=(1, 2),
+            )
+            for i in range(0, len(ref), step)
+        ]
+    )
 
 
 def ssim_map(reference: np.ndarray, distorted: np.ndarray) -> np.ndarray:
@@ -33,24 +86,9 @@ def ssim_map(reference: np.ndarray, distorted: np.ndarray) -> np.ndarray:
         raise AnalysisError(
             f"shape mismatch: {reference.shape} vs {distorted.shape}"
         )
-    if reference.ndim != 2 or min(reference.shape) < 8:
+    if reference.ndim != 2:
         raise AnalysisError("SSIM needs 2-D frames of at least 8x8")
-    x = reference.astype(np.float64)
-    y = distorted.astype(np.float64)
-
-    mu_x = _local_mean(x)
-    mu_y = _local_mean(y)
-    mu_xx = mu_x * mu_x
-    mu_yy = mu_y * mu_y
-    mu_xy = mu_x * mu_y
-
-    sigma_xx = _local_mean(x * x) - mu_xx
-    sigma_yy = _local_mean(y * y) - mu_yy
-    sigma_xy = _local_mean(x * y) - mu_xy
-
-    numerator = (2.0 * mu_xy + C1) * (2.0 * sigma_xy + C2)
-    denominator = (mu_xx + mu_yy + C1) * (sigma_xx + sigma_yy + C2)
-    return numerator / denominator
+    return ssim_map_stack(reference[None], distorted[None])[0]
 
 
 def ssim(reference: np.ndarray, distorted: np.ndarray) -> float:

@@ -8,14 +8,23 @@ reference itself.  We implement the standard multi-scale pixel-domain
 approximation (four scales, Gaussian windows, variances floored by the
 HVS noise ``sigma_nsq``), matching VQMT's ``VIFp`` output range
 [0, 1]-ish (slightly above 1 is possible for contrast-enhanced input).
+
+:func:`vifp_stack` scores a whole ``(T, H, W)`` stack of frame pairs,
+building each pyramid level and its windowed statistics once for the
+entire stack; :func:`vifp` is the single-frame wrapper.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy import ndimage
 
 from ..errors import AnalysisError
+from .kernels import (
+    as_frame_stack,
+    block_frames,
+    gaussian_blur_stack,
+    window_stats,
+)
 
 #: Variance of the additive HVS model noise (standard value).
 SIGMA_NSQ = 2.0
@@ -24,19 +33,79 @@ SIGMA_NSQ = 2.0
 SCALES = 4
 
 
-def _filter_and_stats(
-    x: np.ndarray, y: np.ndarray, sigma: float
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Windowed variances/covariance of the two planes."""
-    mu_x = ndimage.gaussian_filter(x, sigma, mode="reflect")
-    mu_y = ndimage.gaussian_filter(y, sigma, mode="reflect")
-    sigma_xx = ndimage.gaussian_filter(x * x, sigma, mode="reflect") - mu_x * mu_x
-    sigma_yy = ndimage.gaussian_filter(y * y, sigma, mode="reflect") - mu_y * mu_y
-    sigma_xy = ndimage.gaussian_filter(x * y, sigma, mode="reflect") - mu_x * mu_y
-    return (
-        np.maximum(sigma_xx, 0.0),
-        np.maximum(sigma_yy, 0.0),
-        sigma_xy,
+def _vifp_block(ref: np.ndarray, dis: np.ndarray) -> np.ndarray:
+    """VIFp series of one (already validated) block of frame pairs."""
+    x = ref.astype(np.float64)
+    y = dis.astype(np.float64)
+    frames = ref.shape[0]
+
+    numerator = np.zeros(frames, dtype=np.float64)
+    denominator = np.zeros(frames, dtype=np.float64)
+    for scale in range(1, SCALES + 1):
+        # Scale-dependent window as in the reference implementation.
+        window_size = (2 ** (SCALES - scale + 1)) + 1
+        sigma = window_size / 5.0
+        if scale > 1:
+            x = np.ascontiguousarray(gaussian_blur_stack(x, sigma)[:, ::2, ::2])
+            y = np.ascontiguousarray(gaussian_blur_stack(y, sigma)[:, ::2, ::2])
+            if min(x.shape[1:]) < 4:
+                break
+
+        _mu_x, _mu_y, sigma_xx, sigma_yy, sigma_xy = window_stats(x, y, sigma)
+
+        # Channel gain g and residual variance sv of the distortion
+        # model y = g*x + v.
+        g = sigma_xy / (sigma_xx + 1e-10)
+        sv = sigma_yy - g * sigma_xy
+        g = np.where(sigma_xx < 1e-10, 0.0, g)
+        sv = np.where(sigma_xx < 1e-10, sigma_yy, sv)
+        sv = np.where(g < 0, sigma_yy, sv)
+        g = np.maximum(g, 0.0)
+        sv = np.maximum(sv, 1e-10)
+
+        numerator += np.sum(
+            np.log10(1.0 + (g * g) * sigma_xx / (sv + SIGMA_NSQ)), axis=(1, 2)
+        )
+        denominator += np.sum(np.log10(1.0 + sigma_xx / SIGMA_NSQ), axis=(1, 2))
+
+    # A flat reference carries no information; identical frames
+    # preserve all of it by convention.
+    informative = denominator > 0.0
+    values = np.where(
+        informative, numerator / np.where(informative, denominator, 1.0), 0.0
+    )
+    for index in np.flatnonzero(~informative):
+        if np.allclose(ref[index], dis[index]):
+            values[index] = 1.0
+    return values
+
+
+def vifp_stack(reference: np.ndarray, distorted: np.ndarray) -> np.ndarray:
+    """Per-frame VIFp series of two ``(T, H, W)`` frame stacks.
+
+    Bit-compatible with calling :func:`vifp` on each frame pair: the
+    dyadic pyramid and windowed statistics are computed across frames
+    (in cache-sized blocks) but every frame slice matches the
+    per-frame pipeline.
+
+    Raises:
+        AnalysisError: On shape mismatch or frames too small for the
+            four-scale pyramid (needs at least ~32 px per side).
+    """
+    ref = as_frame_stack(reference)
+    dis = as_frame_stack(distorted)
+    if ref.shape != dis.shape:
+        raise AnalysisError(f"shape mismatch: {ref.shape} vs {dis.shape}")
+    if ref.shape[0] == 0 or min(ref.shape[1:]) < 32:
+        raise AnalysisError("VIFp needs 2-D frames of at least 32x32")
+    step = block_frames(ref.shape[1:])
+    if len(ref) <= step:
+        return _vifp_block(ref, dis)
+    return np.concatenate(
+        [
+            _vifp_block(ref[i : i + step], dis[i : i + step])
+            for i in range(0, len(ref), step)
+        ]
     )
 
 
@@ -51,43 +120,6 @@ def vifp(reference: np.ndarray, distorted: np.ndarray) -> float:
         raise AnalysisError(
             f"shape mismatch: {reference.shape} vs {distorted.shape}"
         )
-    if reference.ndim != 2 or min(reference.shape) < 32:
+    if reference.ndim != 2:
         raise AnalysisError("VIFp needs 2-D frames of at least 32x32")
-
-    x = reference.astype(np.float64)
-    y = distorted.astype(np.float64)
-
-    numerator = 0.0
-    denominator = 0.0
-    for scale in range(1, SCALES + 1):
-        # Scale-dependent window as in the reference implementation.
-        window_size = (2 ** (SCALES - scale + 1)) + 1
-        sigma = window_size / 5.0
-        if scale > 1:
-            x = ndimage.gaussian_filter(x, sigma, mode="reflect")[::2, ::2]
-            y = ndimage.gaussian_filter(y, sigma, mode="reflect")[::2, ::2]
-            if min(x.shape) < 4:
-                break
-
-        sigma_xx, sigma_yy, sigma_xy = _filter_and_stats(x, y, sigma)
-
-        # Channel gain g and residual variance sv of the distortion
-        # model y = g*x + v.
-        g = sigma_xy / (sigma_xx + 1e-10)
-        sv = sigma_yy - g * sigma_xy
-        g = np.where(sigma_xx < 1e-10, 0.0, g)
-        sv = np.where(sigma_xx < 1e-10, sigma_yy, sv)
-        sv = np.where(g < 0, sigma_yy, sv)
-        g = np.maximum(g, 0.0)
-        sv = np.maximum(sv, 1e-10)
-
-        numerator += float(
-            np.sum(np.log10(1.0 + (g * g) * sigma_xx / (sv + SIGMA_NSQ)))
-        )
-        denominator += float(np.sum(np.log10(1.0 + sigma_xx / SIGMA_NSQ)))
-
-    if denominator <= 0.0:
-        # A flat reference carries no information; identical frames
-        # preserve all of it by convention.
-        return 1.0 if np.allclose(reference, distorted) else 0.0
-    return numerator / denominator
+    return float(vifp_stack(reference[None], distorted[None])[0])

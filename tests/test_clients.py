@@ -120,6 +120,40 @@ class TestRecorderUnit:
         testbed.network.simulator.run()
         assert len(recorder.frames) <= 5
 
+    def test_tick_timestamps_do_not_drift(self, testbed):
+        # Regression: relative schedule(1/fps) calls accumulated float
+        # rounding error over long sessions; ticks must sit on exact
+        # multiples of the frame period from the recording start.
+        client = testbed.add_vm("US-East")
+        from repro.media.video_codec import VideoDecoder
+
+        spec = FrameSpec(64, 48, 30)  # 1/30 is inexact in binary
+        recorder = DesktopRecorder(
+            client, spec, pad_fraction=0.0,
+            resample_factor=1.0, draw_widgets=False,
+        )
+        recorder.start(VideoDecoder(spec), duration_s=60.0)
+        testbed.network.simulator.run()
+        timestamps = np.array(recorder.timestamps)
+        assert len(timestamps) == 1800
+        expected = np.arange(1800) / 30
+        assert np.max(np.abs(timestamps - expected)) == 0.0
+
+    def test_frames_head_matches_full_finalize(self, testbed):
+        client = testbed.add_vm("US-East")
+        from repro.media.video_codec import VideoDecoder
+
+        spec = FrameSpec(64, 48, 10)
+        recorder = DesktopRecorder(client, spec, pad_fraction=0.15)
+        recorder.start(VideoDecoder(spec), duration_s=2.0)
+        testbed.network.simulator.run()
+        head = [f.copy() for f in recorder.frames_head(7)]
+        assert len(head) == 7
+        full = recorder.frames
+        assert len(full) == 20
+        for early, late in zip(head, full):
+            assert np.array_equal(early, late)
+
 
 class TestCpuModel:
     def test_meet_costs_more_than_zoom_highend(self):

@@ -14,8 +14,10 @@ from repro.media.padding import (
     crop_padding,
     pad_size,
     resize_frame,
+    resize_frames,
 )
 from repro.media.sync import (
+    _frame_similarity,
     align_recordings,
     find_audio_offset,
     measure_loudness,
@@ -99,6 +101,48 @@ class TestResize:
             resize_frame(np.zeros((16, 16)), (0, 10))
 
 
+class TestResizeFrames:
+    def test_matches_per_frame_exactly(self, rng):
+        stack = rng.integers(0, 256, (20, 48, 64), dtype=np.uint8)
+        batched = resize_frames(stack, (30, 40))
+        per_frame = np.stack([resize_frame(f, (30, 40)) for f in stack])
+        assert np.array_equal(batched, per_frame)
+
+    def test_matches_per_frame_float(self, rng):
+        stack = rng.random((6, 24, 32))
+        batched = resize_frames(stack, (48, 64))
+        per_frame = np.stack([resize_frame(f, (48, 64)) for f in stack])
+        assert np.array_equal(batched, per_frame)
+
+    def test_block_boundaries_consistent(self, rng, monkeypatch):
+        # Stacks longer than one processing block must stitch cleanly.
+        from repro.media import padding
+
+        stack = rng.integers(0, 256, (40, 48, 64), dtype=np.uint8)
+        expected = np.stack([resize_frame(f, (30, 40)) for f in stack])
+        monkeypatch.setattr(padding, "_RESIZE_BLOCK_BYTES", 48 * 64 * 8 * 3)
+        assert np.array_equal(resize_frames(stack, (30, 40)), expected)
+
+    def test_identity_copies(self):
+        stack = np.zeros((3, 16, 16), dtype=np.uint8)
+        out = resize_frames(stack, (16, 16))
+        assert out is not stack
+        assert np.array_equal(out, stack)
+
+    def test_rejects_non_stack(self):
+        with pytest.raises(MediaError):
+            resize_frames(np.zeros((16, 16)), (8, 8))
+
+    def test_plan_cache_reused(self):
+        from repro.media.padding import _resize_plan
+
+        _resize_plan.cache_clear()
+        resize_frame(np.zeros((16, 16), dtype=np.uint8), (8, 8))
+        resize_frame(np.ones((16, 16), dtype=np.uint8), (8, 8))
+        info = _resize_plan.cache_info()
+        assert info.hits >= 1 and info.misses == 1
+
+
 class TestVideoAlignment:
     def test_finds_known_shift(self, small_spec):
         feed = HighMotionFeed(small_spec)
@@ -120,6 +164,84 @@ class TestVideoAlignment:
     def test_empty_rejected(self):
         with pytest.raises(AnalysisError):
             align_recordings([], [np.zeros((8, 8))])
+
+    def test_accepts_frame_stacks(self, small_spec):
+        feed = HighMotionFeed(small_spec)
+        reference = np.stack(feed.frames(30))
+        recorded = np.stack(feed.frames(25, start=5))
+        shift, ref_aligned, rec_aligned = align_recordings(
+            reference, recorded, max_shift=10
+        )
+        assert shift == -5
+        assert np.array_equal(ref_aligned[0], rec_aligned[0])
+
+    def test_matches_sequential_search(self, small_spec, rng):
+        # The one-matrix scoring must pick the same shift the original
+        # per-shift Python loop would.
+        feed = HighMotionFeed(small_spec)
+        reference = feed.frames(40)
+        for true_shift in (-7, -3, 0, 4, 9):
+            if true_shift >= 0:
+                recorded = [
+                    np.clip(
+                        f.astype(int) + rng.integers(-2, 3), 0, 255
+                    ).astype(np.uint8)
+                    for f in feed.frames(25, start=true_shift)
+                ]
+                shift, _, _ = align_recordings(
+                    reference, recorded, max_shift=12
+                )
+                assert shift == -true_shift
+            else:
+                # Reference starting late means the recording leads it:
+                # a positive shift of the same magnitude.
+                recorded = feed.frames(25)
+                shift, _, _ = align_recordings(
+                    feed.frames(40, start=-true_shift), recorded, max_shift=12
+                )
+                assert shift == -true_shift
+
+    def test_ragged_frames_rejected(self):
+        with pytest.raises(AnalysisError):
+            align_recordings(
+                [np.zeros((8, 8)), np.zeros((9, 9))], [np.zeros((8, 8))]
+            )
+
+
+class TestFrameSimilarity:
+    def test_textured_identical(self, rng):
+        frame = rng.integers(0, 256, (16, 16), dtype=np.uint8)
+        assert _frame_similarity(frame, frame) == pytest.approx(1.0)
+
+    def test_flat_frames_different_brightness_not_identical(self):
+        # Regression: mean subtraction used to map flat frames of any
+        # brightness to zero vectors that compared as identical.
+        dark = np.zeros((16, 16), dtype=np.uint8)
+        bright = np.full((16, 16), 200, dtype=np.uint8)
+        assert _frame_similarity(dark, bright) == 0.0
+
+    def test_flat_frames_same_brightness_identical(self):
+        flat = np.full((16, 16), 93, dtype=np.uint8)
+        assert _frame_similarity(flat, flat.copy()) == 1.0
+
+    def test_flat_vs_textured_not_identical(self, rng):
+        flat = np.full((16, 16), 128, dtype=np.uint8)
+        textured = rng.integers(0, 256, (16, 16), dtype=np.uint8)
+        assert _frame_similarity(flat, textured) == 0.0
+
+    def test_alignment_not_fooled_by_flat_leader(self, small_spec):
+        # A recording led by flat frames at the wrong brightness must
+        # not align to a flat stretch of the reference.
+        feed = LowMotionFeed(small_spec)
+        reference = [np.full(small_spec.shape, 30, dtype=np.uint8)] * 3
+        reference += feed.frames(20)
+        recorded = [np.full(small_spec.shape, 200, dtype=np.uint8)] * 3
+        recorded += feed.frames(20)
+        shift, ref_aligned, rec_aligned = align_recordings(
+            reference, recorded, max_shift=5
+        )
+        assert shift == 0
+        assert np.array_equal(ref_aligned[5], rec_aligned[5])
 
 
 class TestAudioAlignment:

@@ -1,0 +1,155 @@
+"""Reference-window indexing of the video post-processing pipeline.
+
+Guards the ``ref_start = max(0, skip_leading - max_shift)`` clamp in
+:func:`repro.core.postprocess.align_recorded_video`: recordings whose
+true start offset sits at or beyond ``skip_leading`` must align
+exactly, so an undegraded recording scores as identical frames.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.postprocess import (
+    align_recorded_video,
+    prepare_recorded_frames,
+    recording_prefix_frames,
+    score_recorded_video,
+)
+from repro.errors import AnalysisError
+from repro.media.feeds import HighMotionFeed
+from repro.media.frames import FrameSpec
+from repro.media.padding import PaddedSource
+from repro.media.sync import PROBE_FRAMES
+from repro.qoe.psnr import PSNR_CAP_DB
+
+
+@pytest.fixture
+def padded_feed():
+    return PaddedSource(HighMotionFeed(FrameSpec(64, 48, 10)), 0.15)
+
+
+def record_from(padded_feed, start, count):
+    """An undegraded desktop recording starting at feed frame ``start``."""
+    return padded_feed.frames(count, start=start)
+
+
+class TestReferenceWindowIndexing:
+    @pytest.mark.parametrize("start_offset", [0, 2, 4, 6])
+    def test_recovers_shifts_at_and_beyond_skip_leading(
+        self, padded_feed, start_offset
+    ):
+        # The recorder starts ``start_offset`` feed frames late; after
+        # skip_leading the recording is a clean copy of the feed, so a
+        # correct alignment yields bit-identical scored pairs.
+        recorded = record_from(padded_feed, start_offset, 30)
+        report = score_recorded_video(
+            padded_feed,
+            recorded,
+            skip_leading=2,
+            max_shift=8,
+            compute_vifp=False,
+        )
+        assert report.frame_count > 0
+        assert report.mean_psnr == PSNR_CAP_DB
+        assert report.mean_ssim == pytest.approx(1.0)
+
+    def test_clamped_window_when_max_shift_below_skip(self, padded_feed):
+        # skip_leading > max_shift exercises the ref_start clamp arm
+        # where the window starts inside the feed, not at zero.
+        recorded = record_from(padded_feed, 0, 30)
+        report = score_recorded_video(
+            padded_feed,
+            recorded,
+            skip_leading=5,
+            max_shift=3,
+            compute_vifp=False,
+        )
+        assert report.mean_psnr == PSNR_CAP_DB
+
+    def test_max_frames_cap_matches_uncapped_prefix(self, padded_feed):
+        recorded = record_from(padded_feed, 1, 40)
+        capped = score_recorded_video(
+            padded_feed, recorded, max_shift=6, max_frames=10,
+            compute_vifp=False,
+        )
+        uncapped = score_recorded_video(
+            padded_feed, recorded, max_shift=6, compute_vifp=False,
+        )
+        assert capped.frame_count == 10
+        assert capped.psnr_series == uncapped.psnr_series[:10]
+        assert capped.ssim_series == uncapped.ssim_series[:10]
+
+
+class TestAlignRecordedVideo:
+    def test_shared_reference_matches_self_generated(self, padded_feed):
+        recorded = record_from(padded_feed, 3, 30)
+        ref_a, rec_a = align_recorded_video(padded_feed, recorded, max_shift=8)
+        window = padded_feed.content.frames(60)
+        ref_b, rec_b = align_recorded_video(
+            padded_feed, recorded, max_shift=8, reference=np.asarray(window)
+        )
+        assert np.array_equal(ref_a, ref_b)
+        assert np.array_equal(rec_a, rec_b)
+
+    def test_short_shared_reference_rejected(self, padded_feed):
+        recorded = record_from(padded_feed, 0, 30)
+        with pytest.raises(AnalysisError):
+            align_recorded_video(
+                padded_feed,
+                recorded,
+                max_shift=8,
+                reference=np.asarray(padded_feed.content.frames(5)),
+            )
+
+    def test_too_short_recording_rejected(self, padded_feed):
+        with pytest.raises(AnalysisError):
+            align_recorded_video(
+                padded_feed, record_from(padded_feed, 0, 2), skip_leading=2
+            )
+
+
+class TestPrepareRecordedFrames:
+    def test_returns_content_shaped_stack(self, padded_feed):
+        recorded = record_from(padded_feed, 0, 4)
+        prepared = prepare_recorded_frames(padded_feed, recorded)
+        assert prepared.shape == (4,) + padded_feed.content.spec.shape
+        # Undegraded padded frames crop back to the exact content.
+        assert np.array_equal(prepared[0], padded_feed.content.frame(0))
+
+    def test_empty_rejected(self, padded_feed):
+        with pytest.raises(AnalysisError):
+            prepare_recorded_frames(padded_feed, [])
+
+    def test_ragged_rejected(self, padded_feed):
+        with pytest.raises(AnalysisError):
+            prepare_recorded_frames(
+                padded_feed, [np.zeros((8, 8)), np.zeros((9, 9))]
+            )
+
+
+class TestRecordingPrefix:
+    def test_uncapped_is_none(self):
+        assert recording_prefix_frames(max_frames=None) is None
+
+    def test_capped_covers_probe_window_and_shift(self):
+        prefix = recording_prefix_frames(
+            skip_leading=2, max_shift=8, max_frames=10
+        )
+        assert prefix == 2 + 8 + PROBE_FRAMES + 10
+
+    def test_prefix_is_sufficient(self, padded_feed):
+        # Scoring the prefix must equal scoring the full recording.
+        recorded = record_from(padded_feed, 1, 60)
+        prefix = recording_prefix_frames(
+            skip_leading=2, max_shift=6, max_frames=12
+        )
+        full = score_recorded_video(
+            padded_feed, recorded, max_shift=6, max_frames=12,
+            compute_vifp=False,
+        )
+        head = score_recorded_video(
+            padded_feed, recorded[:prefix], max_shift=6, max_frames=12,
+            compute_vifp=False,
+        )
+        assert head.psnr_series == full.psnr_series
+        assert head.ssim_series == full.ssim_series

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from scipy import ndimage
+
 from repro.errors import AnalysisError
 from repro.media.feeds import HighMotionFeed, LowMotionFeed
 from repro.media.frames import FrameSpec
@@ -10,10 +12,14 @@ from repro.qoe import (
     mos_from_psnr,
     mos_from_ssim,
     psnr,
+    psnr_stack,
     score_video,
     ssim,
+    ssim_stack,
     vifp,
+    vifp_stack,
 )
+from repro.qoe.kernels import as_frame_stack, gaussian_blur_stack
 from repro.qoe.mos import mos_downgrade
 from repro.qoe.psnr import PSNR_CAP_DB
 from repro.qoe.vqmt import VideoQualityReport
@@ -128,6 +134,147 @@ class TestMosBands:
     def test_downgrade_validates(self):
         with pytest.raises(AnalysisError):
             mos_downgrade(6, 3)
+
+
+def naive_psnr(reference, distorted, cap_db=PSNR_CAP_DB):
+    """The seed's per-frame PSNR, kept verbatim as the oracle."""
+    mse = float(
+        np.mean((reference.astype(np.float64) - distorted.astype(np.float64)) ** 2)
+    )
+    if mse <= 0.0:
+        return cap_db
+    return float(min(10.0 * np.log10(255.0**2 / mse), cap_db))
+
+
+def naive_ssim(reference, distorted):
+    """The seed's per-frame SSIM, kept verbatim as the oracle."""
+    c1, c2 = (0.01 * 255.0) ** 2, (0.03 * 255.0) ** 2
+    mean = lambda p: ndimage.gaussian_filter(p, sigma=1.5, mode="reflect")
+    x = reference.astype(np.float64)
+    y = distorted.astype(np.float64)
+    mu_x, mu_y = mean(x), mean(y)
+    sigma_xx = mean(x * x) - mu_x * mu_x
+    sigma_yy = mean(y * y) - mu_y * mu_y
+    sigma_xy = mean(x * y) - mu_x * mu_y
+    numerator = (2.0 * mu_x * mu_y + c1) * (2.0 * sigma_xy + c2)
+    denominator = (mu_x * mu_x + mu_y * mu_y + c1) * (sigma_xx + sigma_yy + c2)
+    return float(np.mean(numerator / denominator))
+
+
+def naive_vifp(reference, distorted):
+    """The seed's per-frame VIFp, kept verbatim as the oracle."""
+    x = reference.astype(np.float64)
+    y = distorted.astype(np.float64)
+    numerator = denominator = 0.0
+    for scale in range(1, 5):
+        sigma = ((2 ** (4 - scale + 1)) + 1) / 5.0
+        if scale > 1:
+            x = ndimage.gaussian_filter(x, sigma, mode="reflect")[::2, ::2]
+            y = ndimage.gaussian_filter(y, sigma, mode="reflect")[::2, ::2]
+            if min(x.shape) < 4:
+                break
+        blur = lambda p: ndimage.gaussian_filter(p, sigma, mode="reflect")
+        mu_x, mu_y = blur(x), blur(y)
+        sigma_xx = np.maximum(blur(x * x) - mu_x * mu_x, 0.0)
+        sigma_yy = np.maximum(blur(y * y) - mu_y * mu_y, 0.0)
+        sigma_xy = blur(x * y) - mu_x * mu_y
+        g = sigma_xy / (sigma_xx + 1e-10)
+        sv = sigma_yy - g * sigma_xy
+        g = np.where(sigma_xx < 1e-10, 0.0, g)
+        sv = np.where(sigma_xx < 1e-10, sigma_yy, sv)
+        sv = np.where(g < 0, sigma_yy, sv)
+        g = np.maximum(g, 0.0)
+        sv = np.maximum(sv, 1e-10)
+        numerator += float(np.sum(np.log10(1.0 + (g * g) * sigma_xx / (sv + 2.0))))
+        denominator += float(np.sum(np.log10(1.0 + sigma_xx / 2.0)))
+    if denominator <= 0.0:
+        return 1.0 if np.allclose(reference, distorted) else 0.0
+    return numerator / denominator
+
+
+class TestBatchedScoring:
+    """Batched (T, H, W) kernels against the per-frame oracles.
+
+    The ISSUE-2 acceptance bound: batched and per-frame series agree
+    to <= 1e-8 (they are in fact bit-identical).
+    """
+
+    @pytest.fixture
+    def pairs(self):
+        feed = HighMotionFeed(FrameSpec(64, 64, 10))
+        reference = np.stack(feed.frames(9))
+        rng = np.random.default_rng(5)
+        distorted = np.clip(
+            reference.astype(np.float64) + rng.normal(0, 10, reference.shape),
+            0,
+            255,
+        ).astype(np.uint8)
+        # Include an identical pair and a flat pair to hit the edge
+        # branches (PSNR cap, VIFp flat-reference convention).
+        reference[3] = distorted[3]
+        reference[6] = 77
+        distorted[6] = 77
+        return reference, distorted
+
+    def test_gaussian_blur_matches_scipy(self, pairs):
+        stack = pairs[0].astype(np.float64)
+        batched = gaussian_blur_stack(stack, 1.5)
+        per_frame = np.stack(
+            [ndimage.gaussian_filter(f, 1.5, mode="reflect") for f in stack]
+        )
+        assert np.array_equal(batched, per_frame)
+
+    def test_psnr_stack_matches_per_frame(self, pairs):
+        reference, distorted = pairs
+        series = psnr_stack(reference, distorted)
+        oracle = [naive_psnr(r, d) for r, d in zip(reference, distorted)]
+        assert np.abs(series - oracle).max() <= 1e-8
+
+    def test_ssim_stack_matches_per_frame(self, pairs):
+        reference, distorted = pairs
+        series = ssim_stack(reference, distorted)
+        oracle = [naive_ssim(r, d) for r, d in zip(reference, distorted)]
+        assert np.abs(series - oracle).max() <= 1e-8
+
+    def test_vifp_stack_matches_per_frame(self, pairs):
+        reference, distorted = pairs
+        series = vifp_stack(reference, distorted)
+        oracle = [naive_vifp(r, d) for r, d in zip(reference, distorted)]
+        assert np.abs(series - oracle).max() <= 1e-8
+
+    def test_scalar_wrappers_equal_stack_kernels(self, pairs):
+        reference, distorted = pairs
+        assert psnr(reference[0], distorted[0]) == psnr_stack(
+            reference[:1], distorted[:1]
+        )[0]
+        assert ssim(reference[0], distorted[0]) == ssim_stack(
+            reference[:1], distorted[:1]
+        )[0]
+        assert vifp(reference[0], distorted[0]) == vifp_stack(
+            reference[:1], distorted[:1]
+        )[0]
+
+    def test_block_boundaries_consistent(self, pairs, monkeypatch):
+        from repro.qoe import kernels
+
+        reference, distorted = pairs
+        full = vifp_stack(reference, distorted)
+        monkeypatch.setattr(kernels, "BLOCK_BYTES", 64 * 64 * 8 * 2)
+        blocked = vifp_stack(reference, distorted)
+        assert np.array_equal(full, blocked)
+
+    def test_stack_shape_validation(self):
+        with pytest.raises(AnalysisError):
+            psnr_stack(np.zeros((2, 8, 8)), np.zeros((3, 8, 8)))
+        with pytest.raises(AnalysisError):
+            as_frame_stack([np.zeros((8, 8)), np.zeros((9, 9))])
+
+    def test_score_video_accepts_stacks(self, pairs):
+        reference, distorted = pairs
+        report = score_video(reference, distorted)
+        assert report.frame_count == len(reference)
+        assert report.psnr_series[3] == PSNR_CAP_DB
+        assert report.vifp_series[6] == 1.0
 
 
 class TestScoreVideo:

@@ -116,6 +116,23 @@ class TestSafety:
         with pytest.raises(SimulationError):
             simulator.run(max_events=1000)
 
+    def test_max_events_is_an_exact_bound(self):
+        # Regression: the guard used to fire only after max_events + 1
+        # events had already executed.
+        simulator = Simulator()
+        for _ in range(6):
+            simulator.schedule(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=5)
+        assert simulator.events_processed == 5
+
+    def test_max_events_allows_exactly_that_many(self):
+        simulator = Simulator()
+        for _ in range(5):
+            simulator.schedule(0.0, lambda: None)
+        simulator.run(max_events=5)  # must drain without raising
+        assert simulator.events_processed == 5
+
     def test_processed_counter(self):
         simulator = Simulator()
         for _ in range(5):

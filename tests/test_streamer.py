@@ -58,6 +58,16 @@ class TestVideoStreamer:
         testbed.network.simulator.run()
         assert 18 <= streamer.frames_sent <= 21
 
+    def test_tick_count_exact_over_long_sessions(self, wired):
+        # Absolute-time tick scheduling: no accumulated float drift, so
+        # a 60 s stream at 10 fps sends exactly 600 frames.
+        testbed, platform, wiring, host, gallery, full, context = wired
+        host.attach_camera(LowMotionFeed(SPEC))
+        streamer = VideoStreamer(host, wiring, platform, context, SPEC)
+        streamer.start(duration_s=60.0)
+        testbed.network.simulator.run()
+        assert streamer.frames_sent == 600
+
     def test_receivers_get_their_layer(self, wired):
         testbed, platform, wiring, host, gallery, full, context = wired
         host.attach_camera(LowMotionFeed(SPEC))
