@@ -1,0 +1,92 @@
+"""Timeline event overhead: dynamic vs static session cost.
+
+A condition timeline adds a handful of boundary events (one per
+compiled phase window plus a restore) to sessions that execute tens of
+thousands of packet events, so the *scheduling* overhead of the
+dynamics engine must be noise.  This benchmark runs the same session
+twice -- static links vs a busy 8-phase timeline whose conditions are
+all neutral, so both runs do identical media work -- and checks that
+the added simulator events are <5% of the session's event count (an
+exact, deterministic proxy for wall-time overhead) plus a generous
+wall-time guard against accidental per-packet work sneaking into the
+timeline path.
+
+Run with ``pytest benchmarks/test_perf_dynamics.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.session import SessionConfig
+from repro.core.testbed import Testbed, TestbedConfig
+from repro.net.dynamics import ConditionPhase, ConditionTimeline, LinkConditions
+
+CLIENTS = ("US-East", "US-East2", "US-Central")
+
+#: Phases in the busy timeline (every boundary is a simulator event).
+PHASES = 8
+
+#: The acceptance bound on added events (fraction of session events).
+MAX_EVENT_OVERHEAD = 0.05
+
+
+def _run_session(timeline: ConditionTimeline | None, scale):
+    testbed = Testbed(TestbedConfig(seed=scale.seed))
+    for name in CLIENTS:
+        testbed.add_vm(name)
+    config = SessionConfig(
+        duration_s=scale.qoe_session_duration_s,
+        feed="high",
+        pad_fraction=0.15,
+        content_spec=scale.content_spec,
+        probes=False,
+        record_video=True,
+        session_index=0,
+        feed_seed=scale.seed,
+        timelines=None if timeline is None else {"US-East2": timeline},
+    )
+    testbed.run_session("zoom", list(CLIENTS), "US-East", config)
+    return testbed.network.simulator.events_processed
+
+
+def _neutral_timeline(duration_s: float) -> ConditionTimeline:
+    return ConditionTimeline(
+        phases=tuple(
+            ConditionPhase(f"p{i}", duration_s / PHASES, LinkConditions())
+            for i in range(PHASES)
+        )
+    )
+
+
+def test_static_session(benchmark, scale):
+    from .conftest import run_once
+
+    events = run_once(benchmark, _run_session, None, scale)
+    assert events > 1000
+
+
+def test_dynamic_session(benchmark, scale):
+    from .conftest import run_once
+
+    timeline = _neutral_timeline(scale.qoe_session_duration_s)
+    events = run_once(benchmark, _run_session, timeline, scale)
+    assert events > 1000
+
+
+def test_timeline_event_overhead_under_5_percent(scale):
+    """The ISSUE 3 acceptance bound, measured deterministically."""
+    timeline = _neutral_timeline(scale.qoe_session_duration_s)
+    static_events = _run_session(None, scale)
+    start = time.perf_counter()
+    dynamic_events = _run_session(timeline, scale)
+    dynamic_s = time.perf_counter() - start
+    start = time.perf_counter()
+    _run_session(None, scale)
+    static_s = time.perf_counter() - start
+    added = dynamic_events - static_events
+    assert 0 < added <= PHASES + 1
+    assert added / static_events < MAX_EVENT_OVERHEAD
+    # Coarse wall-time guard only: single runs on shared CI hardware
+    # are noisy, but the timeline path must never add per-packet cost.
+    assert dynamic_s < static_s * 1.5 + 0.5

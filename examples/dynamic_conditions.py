@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Time-varying network conditions: the dynamics engine end to end.
+
+Scripts two condition timelines on a receiving client -- a bandwidth
+step-down/step-up ramp and a WiFi->LTE handover with a mid-session
+outage -- and reports video QoE, download rate, freeze fraction and
+shaper drops *per timeline phase*, so adaptation and recovery are
+visible instead of averaged away.
+
+Run:  python examples/dynamic_conditions.py
+"""
+
+from repro.analysis.tables import TextTable
+from repro.experiments.dynamics_study import run_dynamics_cell
+from repro.experiments.scale import ExperimentScale
+from repro.media.frames import FrameSpec
+
+SCALE = ExperimentScale(
+    sessions=1,
+    qoe_session_duration_s=20.0,
+    content_spec=FrameSpec(160, 120, 15),
+)
+
+
+def main() -> None:
+    for scenario in ("ramp", "handover"):
+        table = TextTable(
+            ["Phase", "PSNR (dB)", "SSIM", "Down (Mbps)", "Freeze", "Drops"]
+        )
+        cell = run_dynamics_cell("zoom", scenario, scale=SCALE)
+        for report in cell.phases:
+            table.add_row([
+                report.name,
+                f"{report.psnr_mean:.1f}",
+                f"{report.ssim_mean:.3f}",
+                f"{report.download_mbps:.2f}",
+                f"{report.freeze_fraction:.2f}",
+                report.shaper_dropped,
+            ])
+        print(f"\nzoom, {scenario} scenario (per timeline phase):")
+        print(table.render())
+    print(
+        "\nExpected shapes: QoE collapses and freezes spike at the 250 Kbps"
+        "\nfloor of the ramp, then recover on the way back up; the handover"
+        "\noutage starves the download entirely for its ~300 ms, and the LTE"
+        "\nregime settles lower than WiFi."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@ KIND_TITLES = {
     "qoe": "Video QoE (Figs. 12/16 protocol)",
     "bandwidth": "Bandwidth constraints (Figs. 17-18 protocol)",
     "mobile": "Mobile resources (Fig. 19 protocol)",
+    "dynamics": "Network dynamics (scripted condition timelines)",
 }
 
 
@@ -145,6 +146,30 @@ def mobile_table(records: Iterable[CellRecord]) -> TextTable:
     return table
 
 
+def dynamics_table(records: Iterable[CellRecord]) -> TextTable:
+    """One row per (platform, scenario, phase), in timeline order."""
+    table = TextTable(
+        ["Platform", "Scenario", "Phase", "PSNR (dB)", "SSIM",
+         "Down Mbps", "Freeze", "Drops"]
+    )
+    for record in _ok_records(records, "dynamics"):
+        metrics = record.metrics
+        phases = metrics.get("phases", {})
+        for name in metrics.get("phase_order", sorted(phases)):
+            reading = phases[name]
+            table.add_row([
+                record.params.get("platform", "?"),
+                record.params.get("scenario", "?"),
+                name,
+                _fmt(reading["psnr_db"]),
+                _fmt(reading["ssim"], ".3f"),
+                _fmt(reading["download_mbps"], ".2f"),
+                _fmt(reading["freeze_fraction"], ".2f"),
+                reading.get("shaper_dropped", "-"),
+            ])
+    return table
+
+
 #: kind -> table builder, in render order.
 TABLE_BUILDERS = {
     "lag": lag_table,
@@ -152,6 +177,7 @@ TABLE_BUILDERS = {
     "qoe": qoe_table,
     "bandwidth": bandwidth_table,
     "mobile": mobile_table,
+    "dynamics": dynamics_table,
 }
 
 

@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 from ..errors import CampaignError
 from ..experiments.bandwidth_study import RATE_LIMITS
+from ..experiments.dynamics_study import DYNAMICS_SCENARIOS
 from ..experiments.lag_study import LAG_SCENARIOS
 from ..experiments.mobile_study import MOBILE_SCENARIOS
 from ..experiments.scale import ExperimentScale
@@ -87,6 +88,12 @@ def paper_campaign(
                 "scenario": tuple(MOBILE_SCENARIOS),
             })
         ],
+        "dynamics": lambda: [
+            ScenarioSpec("dynamics", {
+                "platform": platforms,
+                "scenario": tuple(DYNAMICS_SCENARIOS),
+            })
+        ],
     }
     selected = tuple(kinds) if kinds else tuple(scenarios)
     unknown = [kind for kind in selected if kind not in scenarios]
@@ -107,7 +114,12 @@ def smoke_campaign(
     platforms: Sequence[str] = ("zoom", "meet"),
     master_seed: int = 7,
 ) -> CampaignSpec:
-    """A tiny end-to-end grid: 2 platforms x (lag + qoe), seconds total."""
+    """A tiny end-to-end grid, seconds total.
+
+    Two platforms of lag + qoe, plus one dynamics ramp cell so CI
+    exercises the condition-timeline path (mid-session link mutation,
+    per-phase reporting) end to end.
+    """
     platforms = tuple(platforms)
     return CampaignSpec(
         name="smoke",
@@ -121,6 +133,10 @@ def smoke_campaign(
                 "platform": platforms,
                 "motion": ("low",),
                 "participants": (2,),
+            }),
+            ScenarioSpec("dynamics", {
+                "platform": platforms[:1],
+                "scenario": ("ramp",),
             }),
         ),
         scale=SMOKE_SCALE,

@@ -19,11 +19,13 @@ import numpy as np
 from ..core.results import SummaryStats
 from ..errors import CampaignError
 from ..experiments.bandwidth_study import limit_label, run_bandwidth_cell
+from ..experiments.dynamics_study import run_dynamics_cell
 from ..experiments.endpoint_study import run_endpoint_study
 from ..experiments.lag_study import run_lag_scenario
 from ..experiments.mobile_study import run_mobile_scenario
 from ..experiments.qoe_study import EU_ROSTER, US_ROSTER, run_qoe_cell
 from ..experiments.scale import ExperimentScale
+from ..net.dynamics import ConditionTimeline
 from .spec import KNOWN_KINDS
 
 Metrics = Dict[str, Any]
@@ -172,6 +174,37 @@ def _mobile_execute(params: Mapping[str, Any],
     }
 
 
+def _dynamics_execute(params: Mapping[str, Any],
+                      scale: ExperimentScale) -> Metrics:
+    # A cell may carry a full serialized timeline (a grid axis value)
+    # or just a named scenario; the driver resolves either.
+    timeline = ConditionTimeline.coerce(params["timeline"])
+    cell = run_dynamics_cell(
+        params["platform"],
+        params["scenario"],
+        scale=scale,
+        motion=params["motion"],
+        timeline=timeline,
+    )
+    return {
+        "psnr_db": cell.psnr_mean,
+        "ssim": cell.ssim_mean,
+        "phases": {
+            report.name: {
+                "psnr_db": report.psnr_mean,
+                "ssim": report.ssim_mean,
+                "download_mbps": report.download_mbps,
+                "freeze_fraction": report.freeze_fraction,
+                "frames_scored": report.frames_scored,
+                "shaper_dropped": report.shaper_dropped,
+            }
+            for report in cell.phases
+        },
+        "phase_order": [report.name for report in cell.phases],
+        "sessions": cell.sessions,
+    }
+
+
 def _endpoints_execute(params: Mapping[str, Any],
                        scale: ExperimentScale) -> Metrics:
     sessions = params["sessions"]
@@ -227,6 +260,16 @@ ADAPTERS: Dict[str, ScenarioAdapter] = {
             kind="endpoints",
             defaults={"platform": "zoom", "sessions": None},
             execute=_endpoints_execute,
+        ),
+        ScenarioAdapter(
+            kind="dynamics",
+            defaults={
+                "platform": "zoom",
+                "scenario": "ramp",
+                "motion": "high",
+                "timeline": None,
+            },
+            execute=_dynamics_execute,
         ),
     )
 }

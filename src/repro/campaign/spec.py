@@ -25,14 +25,29 @@ from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
 
 from ..errors import CampaignError
 from ..experiments.scale import ExperimentScale
+from ..net.dynamics import ConditionTimeline
 
 #: Experiment kinds the registry knows how to dispatch.
-KNOWN_KINDS = ("lag", "qoe", "bandwidth", "mobile", "endpoints")
+KNOWN_KINDS = ("lag", "qoe", "bandwidth", "mobile", "endpoints", "dynamics")
 
 
 def canonical_json(value: Any) -> str:
     """Canonical JSON used for hashing and cell identity."""
     return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def freeze_axis_value(value: Any) -> Any:
+    """Normalise one axis value to its JSON-serializable form.
+
+    Condition timelines are first-class axis values: they are frozen to
+    their tagged dict form here, so expansion, the ``cell_id``, the
+    spec hash and the JSONL store all see one canonical spelling
+    whether a grid was authored with :class:`ConditionTimeline`
+    objects or reloaded from a persisted spec.
+    """
+    if isinstance(value, ConditionTimeline):
+        return value.as_axis_value()
+    return value
 
 
 def derive_seed(master_seed: int, cell_id: str) -> int:
@@ -56,7 +71,8 @@ class ScenarioSpec:
             one cell; axes the kind's adapter does not sweep fall back
             to adapter defaults.  Values must be JSON-serializable
             scalars (``None`` is allowed, e.g. an uncapped bandwidth
-            limit).
+            limit) or :class:`~repro.net.dynamics.ConditionTimeline`
+            objects, which are frozen to their serialized form.
     """
 
     kind: str
@@ -71,7 +87,7 @@ class ScenarioSpec:
             raise CampaignError(f"scenario {kind!r} needs at least one axis")
         frozen = []
         for name in sorted(axes):
-            values = tuple(axes[name])
+            values = tuple(freeze_axis_value(v) for v in axes[name])
             if not values:
                 raise CampaignError(
                     f"axis {name!r} of scenario {kind!r} has no values"

@@ -7,6 +7,7 @@ script)::
     python -m repro endpoints --platform meet --sessions 10
     python -m repro qoe --platform webex --motion high -n 4
     python -m repro mobile --platform meet --scenario LM-View
+    python -m repro dynamics --platform zoom --scenario handover
 
 Each subcommand runs the corresponding experiment driver at a
 configurable scale and prints a paper-style table.
@@ -46,6 +47,7 @@ from .campaign.runner import run_campaign
 from .campaign.spec import KNOWN_KINDS
 from .campaign.store import CampaignStore
 from .errors import ReproError
+from .experiments.dynamics_study import DYNAMICS_SCENARIOS, run_dynamics_cell
 from .experiments.endpoint_study import run_endpoint_study
 from .experiments.lag_study import run_lag_scenario
 from .experiments.mobile_study import MOBILE_SCENARIOS, run_mobile_scenario
@@ -131,6 +133,32 @@ def cmd_qoe(args: argparse.Namespace) -> int:
     table.add_row(["Upload (Mbps)", f"{cell.upload_mbps:.2f}", ""])
     table.add_row(["Download (Mbps)", f"{cell.download_mbps:.2f}", ""])
     print(table.render())
+    return 0
+
+
+def cmd_dynamics(args: argparse.Namespace) -> int:
+    cell = run_dynamics_cell(
+        args.platform,
+        args.scenario,
+        scale=_scale_from(args),
+        motion=args.motion,
+    )
+    table = TextTable(
+        ["Phase", "PSNR (dB)", "SSIM", "Down (Mbps)", "Freeze", "Drops"]
+    )
+    for report in cell.phases:
+        table.add_row([
+            report.name,
+            f"{report.psnr_mean:.1f}",
+            f"{report.ssim_mean:.3f}",
+            f"{report.download_mbps:.2f}",
+            f"{report.freeze_fraction:.2f}",
+            report.shaper_dropped,
+        ])
+    print(table.render())
+    print(f"\noverall: PSNR {cell.psnr_mean:.1f} dB, SSIM {cell.ssim_mean:.3f} "
+          f"({args.platform}, {args.scenario} scenario, "
+          f"{cell.sessions} sessions)")
     return 0
 
 
@@ -290,6 +318,17 @@ def build_parser() -> argparse.ArgumentParser:
     qoe.add_argument("--region", choices=("US", "EU"), default="US")
     qoe.add_argument("--no-vifp", action="store_true")
     qoe.set_defaults(func=cmd_qoe)
+
+    dynamics = subparsers.add_parser(
+        "dynamics",
+        help="time-varying network scenario, reported per phase",
+    )
+    _add_common(dynamics)
+    dynamics.add_argument(
+        "--scenario", choices=DYNAMICS_SCENARIOS, default="ramp"
+    )
+    dynamics.add_argument("--motion", choices=("low", "high"), default="high")
+    dynamics.set_defaults(func=cmd_dynamics)
 
     mobile = subparsers.add_parser(
         "mobile", help="Android resource scenario (Fig. 19)"

@@ -52,6 +52,10 @@ class DesktopRecorder:
     Attributes:
         frames: Recorded (uint8) frames, in tick order.
         timestamps: Simulation times of each recorded frame.
+        stale_flags: Per-tick freeze markers: ``True`` when the grab
+            repeated the previous screen content (the decoder produced
+            no new frame since the last tick) -- the raw data for
+            per-phase freeze summaries under dynamic conditions.
     """
 
     def __init__(
@@ -72,13 +76,15 @@ class DesktopRecorder:
         self.resample_factor = resample_factor
         self.draw_widgets = draw_widgets
         self.timestamps: List[float] = []
+        self.stale_flags: List[bool] = []
         self._finalized: List[np.ndarray] = []
         self._pending: List[np.ndarray] = []
         self._decoder: Optional[VideoDecoder] = None
         self._running = False
         self._stop_at = 0.0
         self._record_start = 0.0
-        self._tick_index = 0
+        self._ticker = None
+        self._frames_seen = 0
 
     @property
     def frames(self) -> List[np.ndarray]:
@@ -111,19 +117,25 @@ class DesktopRecorder:
     def _begin(self, duration_s: float) -> None:
         simulator = self._client.host.network.simulator
         self._record_start = simulator.now
-        self._tick_index = 0
         self._stop_at = simulator.now + duration_s
-        self._tick()
+        self._ticker = simulator.schedule_periodic(
+            None, self._tick, rate=self.record_fps
+        )
 
     def stop(self) -> None:
         """Stop recording at the next tick."""
         self._running = False
 
-    def _tick(self) -> None:
+    def _tick(self) -> "bool | None":
         simulator = self._client.host.network.simulator
         if not self._running or simulator.now >= self._stop_at:
-            return
+            return False
         frame = self._decoder.last_frame if self._decoder is not None else None
+        decoded = (
+            self._decoder.frames_decoded if self._decoder is not None else 0
+        )
+        self.stale_flags.append(frame is None or decoded == self._frames_seen)
+        self._frames_seen = decoded
         if frame is None:
             # Nothing rendered yet: the desktop shows the meeting UI on
             # a dark background.
@@ -133,10 +145,7 @@ class DesktopRecorder:
             rendered = self._overlay_widgets(rendered)
         self._pending.append(rendered)
         self.timestamps.append(simulator.now)
-        self._tick_index += 1
-        simulator.schedule_at(
-            self._record_start + self._tick_index / self.record_fps, self._tick
-        )
+        return None
 
     # ----------------------------------------------------------------- #
     # Screen rendering + capture model.

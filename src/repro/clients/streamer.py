@@ -150,7 +150,7 @@ class VideoStreamer(_SenderBase):
                 * platform.encoder_efficiency,
             )
         self._start_time = 0.0
-        self._tick_index = 0
+        self._ticker = None
         self.frames_sent = 0
         self.frames_skipped = 0
         self._wire_debt_s: Dict[StreamLayer, float] = {
@@ -166,18 +166,22 @@ class VideoStreamer(_SenderBase):
 
     def _begin(self, duration_s: float) -> None:
         self._start_time = self.simulator.now
-        self._tick_index = 0
         self._stop_at = self._start_time + duration_s
-        self._tick()
+        # Absolute-time scheduling: multiples of the frame period from
+        # the stream start, so long sessions never drift off the frame
+        # clock the way accumulated relative delays would.
+        self._ticker = self.simulator.schedule_periodic(
+            self.spec.frame_duration(), self._tick
+        )
 
     #: Wire-debt level (in frame intervals) beyond which the sender
     #: skips camera frames -- real-time encoders reduce frame rate
     #: rather than sustain output above the target rate.
     SKIP_DEBT_INTERVALS = 1.5
 
-    def _tick(self) -> None:
+    def _tick(self) -> "bool | None":
         if not self._running():
-            return
+            return False
         now = self.simulator.now
         stream_time = now - self._start_time
         camera = self.client.camera
@@ -219,13 +223,7 @@ class VideoStreamer(_SenderBase):
                     delay=index * pace,
                 )
         self.frames_sent += 1
-        # Absolute-time scheduling: multiples of the frame period from
-        # the stream start, so long sessions never drift off the frame
-        # clock the way accumulated relative delays would.
-        self._tick_index += 1
-        self.simulator.schedule_at(
-            self._start_time + self._tick_index * interval, self._tick
-        )
+        return None
 
     def _layer_wire_rate(self, layer) -> float:
         """The layer's intended absolute wire rate (after adaptation)."""
@@ -322,7 +320,9 @@ class ModelVideoStreamer(_SenderBase):
         self._start_time = self.simulator.now
         self._frame_index = 0
         self._stop_at = self._start_time + duration_s
-        self._tick()
+        self._ticker = self.simulator.schedule_periodic(
+            self.spec.frame_duration(), self._tick
+        )
 
     def _layer_rate(self, layer: StreamLayer) -> float:
         base = self._rates[layer]
@@ -338,9 +338,9 @@ class ModelVideoStreamer(_SenderBase):
         noise = float(self.rng.lognormal(0.0, self.size_sigma))
         return max(64, int(budget * boost * noise))
 
-    def _tick(self) -> None:
+    def _tick(self) -> "bool | None":
         if not self._running():
-            return
+            return False
         interval = self.spec.frame_duration()
         for layer in self.layers:
             size = self._frame_bytes(layer)
@@ -360,9 +360,7 @@ class ModelVideoStreamer(_SenderBase):
                 remaining -= chunk
         self._frame_index += 1
         self.frames_sent += 1
-        self.simulator.schedule_at(
-            self._start_time + self._frame_index * interval, self._tick
-        )
+        return None
 
     def _on_feedback(self, flow_id: str, report: dict) -> None:
         if flow_id != self.wiring.video_flow(self.client.name, StreamLayer.HIGH):
@@ -389,7 +387,7 @@ class AudioStreamer(_SenderBase):
             raise SessionError(f"{client.name} has no microphone attached")
         self.codec = AudioCodec(config)
         self._start_time = 0.0
-        self._tick_index = 0
+        self._ticker = None
         self.frames_sent = 0
 
     def start(self, duration_s: float, start_delay_s: float = 0.0) -> None:
@@ -400,13 +398,16 @@ class AudioStreamer(_SenderBase):
 
     def _begin(self, duration_s: float) -> None:
         self._start_time = self.simulator.now
-        self._tick_index = 0
         self._stop_at = self._start_time + duration_s
-        self._tick()
+        self._ticker = self.simulator.schedule_periodic(
+            FRAME_DURATION_S,
+            self._tick,
+            index_step=AUDIO_FRAMES_PER_TICK,
+        )
 
-    def _tick(self) -> None:
+    def _tick(self) -> "bool | None":
         if not self._running():
-            return
+            return False
         now = self.simulator.now
         stream_time = now - self._start_time
         batch = self.client.microphone.read_at(
@@ -427,9 +428,4 @@ class AudioStreamer(_SenderBase):
                 delay=k * FRAME_DURATION_S,
             )
             self.frames_sent += 1
-        self._tick_index += 1
-        self.simulator.schedule_at(
-            self._start_time
-            + self._tick_index * AUDIO_FRAMES_PER_TICK * FRAME_DURATION_S,
-            self._tick,
-        )
+        return None

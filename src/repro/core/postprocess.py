@@ -17,13 +17,15 @@ score."
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import AnalysisError
 from ..media.frames import FrameSource
 from ..media.padding import PaddedSource, resize_frames
+from ..net.dynamics import PhaseWindow
 from ..media.sync import (
     PROBE_FRAMES,
     align_recordings,
@@ -85,7 +87,8 @@ def align_recorded_video(
     max_shift: int = 30,
     max_frames: int | None = None,
     reference: np.ndarray | None = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+    with_offset: bool = False,
+):
     """Crop, resize and align a recording against its reference feed.
 
     Returns equal-length ``(reference, recorded)`` frame stacks ready
@@ -106,6 +109,9 @@ def align_recorded_video(
             and covering at least ``prepared + 2 * max_shift`` frames;
             callers scoring several recordings of the same feed pass
             one shared window instead of regenerating it.
+        with_offset: Also return the index into ``recorded`` of the
+            first aligned frame, so per-frame scores can be mapped back
+            to recorder timestamps (phase-segmented QoE needs this).
     """
     usable = recorded[skip_leading:]
     if len(usable) == 0:
@@ -133,12 +139,18 @@ def align_recorded_video(
         # Trim so results match a self-generated window exactly (the
         # overlap after alignment depends on the reference length).
         reference = np.asarray(reference)[:window]
-    _shift, ref_aligned, rec_aligned = align_recordings(
+    shift, ref_aligned, rec_aligned = align_recordings(
         reference, prepared, max_shift=max_shift
     )
     if max_frames is not None:
         ref_aligned = ref_aligned[:max_frames]
         rec_aligned = rec_aligned[:max_frames]
+    if with_offset:
+        # Aligned frame k came from recorded[first_index + k]: the
+        # trim search drops skip_leading frames up front and, for
+        # positive shifts, the first ``shift`` prepared frames.
+        first_index = skip_leading + max(shift, 0)
+        return np.asarray(ref_aligned), np.asarray(rec_aligned), first_index
     return np.asarray(ref_aligned), np.asarray(rec_aligned)
 
 
@@ -170,6 +182,115 @@ def score_recorded_video(
         max_frames=max_frames,
     )
     return score_video(ref_aligned, rec_aligned, compute_vifp=compute_vifp)
+
+
+@dataclass
+class PhaseQoe:
+    """QoE of one timeline phase of a recording.
+
+    Attributes:
+        name: Phase name (timeline phase, possibly ``+impulse``).
+        frames: Aligned frames scored inside the phase window.
+        psnr_mean / ssim_mean / vifp_mean: Phase means (NaN when the
+            phase contributed no frames, e.g. a total outage).
+    """
+
+    name: str
+    frames: int
+    psnr_mean: float
+    ssim_mean: float
+    vifp_mean: float
+
+
+def segment_series_by_phase(
+    series: Sequence[float],
+    frame_times: Sequence[float],
+    windows: Sequence[PhaseWindow],
+) -> Dict[str, Tuple[int, float]]:
+    """Mean of a per-frame series within each phase window.
+
+    ``frame_times[k]`` is the recording timestamp of the frame scored
+    at ``series[k]``.  Windows sharing a name pool their frames.
+    Returns ``name -> (frame_count, mean)`` with NaN means for empty
+    phases.
+    """
+    if len(series) != len(frame_times):
+        raise AnalysisError(
+            f"series has {len(series)} entries for {len(frame_times)} times"
+        )
+    values = np.asarray(series, dtype=np.float64)
+    times = np.asarray(frame_times, dtype=np.float64)
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for window in windows:
+        mask = (times >= window.start_s) & (times < window.end_s)
+        sums[window.name] = sums.get(window.name, 0.0) + float(values[mask].sum())
+        counts[window.name] = counts.get(window.name, 0) + int(mask.sum())
+    return {
+        name: (counts[name],
+               sums[name] / counts[name] if counts[name] else float("nan"))
+        for name in counts
+    }
+
+
+def score_recorded_video_by_phase(
+    padded_feed: PaddedSource,
+    recorded: Sequence[np.ndarray],
+    timestamps: Sequence[float],
+    windows: Sequence[PhaseWindow],
+    skip_leading: int = 2,
+    max_shift: int = 30,
+    compute_vifp: bool = False,
+    max_frames: int | None = None,
+) -> Tuple[VideoQualityReport, List[PhaseQoe]]:
+    """Score a recording once, then segment the series by phase.
+
+    The recording is cropped/resized/aligned and scored in a single
+    batched pass (identical numbers to :func:`score_recorded_video`);
+    the per-frame series are then attributed to timeline phases via the
+    recorder timestamps of the aligned frames.  Returns the overall
+    report plus one :class:`PhaseQoe` per phase, in window order.
+    """
+    if len(recorded) != len(timestamps):
+        raise AnalysisError(
+            f"{len(recorded)} recorded frames but {len(timestamps)} timestamps"
+        )
+    ref_aligned, rec_aligned, first_index = align_recorded_video(
+        padded_feed,
+        recorded,
+        skip_leading=skip_leading,
+        max_shift=max_shift,
+        max_frames=max_frames,
+        with_offset=True,
+    )
+    report = score_video(ref_aligned, rec_aligned, compute_vifp=compute_vifp)
+    frame_times = np.asarray(timestamps)[
+        first_index : first_index + len(rec_aligned)
+    ]
+    psnr_by = segment_series_by_phase(report.psnr_series, frame_times, windows)
+    ssim_by = segment_series_by_phase(report.ssim_series, frame_times, windows)
+    vifp_by = (
+        segment_series_by_phase(report.vifp_series, frame_times, windows)
+        if compute_vifp
+        else {name: (count, float("nan")) for name, (count, _) in psnr_by.items()}
+    )
+    seen: set = set()
+    phases: List[PhaseQoe] = []
+    for window in windows:
+        if window.name in seen:
+            continue
+        seen.add(window.name)
+        count, psnr_mean = psnr_by[window.name]
+        phases.append(
+            PhaseQoe(
+                name=window.name,
+                frames=count,
+                psnr_mean=psnr_mean,
+                ssim_mean=ssim_by[window.name][1],
+                vifp_mean=vifp_by[window.name][1],
+            )
+        )
+    return report, phases
 
 
 def score_recorded_audio(

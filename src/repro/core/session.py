@@ -18,7 +18,7 @@ import numpy as np
 from ..clients.client import BaseClient, MEDIA_PORT
 from ..clients.recorder import DesktopRecorder
 from ..clients.streamer import AudioStreamer, ModelVideoStreamer, VideoStreamer
-from ..errors import MeasurementError, SessionError
+from ..errors import ConfigurationError, MeasurementError, SessionError
 from ..media.audio import SpeechLikeSource
 from ..media.audio_codec import AudioCodecConfig
 from ..media.feeds import FlashFeed, HighMotionFeed, LowMotionFeed, StaticFeed
@@ -26,7 +26,14 @@ from ..media.frames import FrameSource, FrameSpec
 from ..media.padding import PaddedSource
 from ..media.video_codec import VideoCodecConfig
 from ..net.capture import Capture, Direction
+from ..net.dynamics import (
+    ConditionTimeline,
+    PhaseWindow,
+    arm_timeline,
+    resolve_arm_start,
+)
 from ..net.packet import PacketKind
+from ..net.shaper import ShaperStats
 from ..platforms.base import (
     ClientBinding,
     PlatformModel,
@@ -66,6 +73,11 @@ class SessionConfig:
         feed_seed: Seed for the synthetic feeds.
         gop_size: Codec keyframe spacing.
         flash_period_s: Flash cadence for lag feeds.
+        timelines: Optional per-client condition timelines (client name
+            -> :class:`~repro.net.dynamics.ConditionTimeline`).  Each is
+            armed relative to the media-window start and mutates that
+            client's access link as the session runs; ``None`` (or an
+            empty mapping) keeps every link static.
     """
 
     duration_s: float = 30.0
@@ -87,6 +99,7 @@ class SessionConfig:
     gop_size: int = 30
     flash_period_s: float = 2.0
     normalize_wire_rates: Optional[bool] = None
+    timelines: Optional[Dict[str, ConditionTimeline]] = None
 
     @property
     def wire_normalized(self) -> bool:
@@ -103,8 +116,46 @@ class SessionConfig:
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
             raise SessionError("duration_s must be positive")
+        if self.settle_s < 0:
+            raise SessionError(f"settle_s must be >= 0, got {self.settle_s}")
+        if self.grace_s < 0:
+            raise SessionError(f"grace_s must be >= 0, got {self.grace_s}")
+        if self.probe_interval_s < 0:
+            raise SessionError(
+                f"probe_interval_s must be >= 0, got {self.probe_interval_s}"
+            )
+        if self.probe_count <= 0:
+            raise SessionError(
+                f"probe_count must be positive, got {self.probe_count}"
+            )
         if self.feed not in (None, "low", "high", "flash", "static"):
             raise SessionError(f"unknown feed type: {self.feed!r}")
+        for client_name, timeline in (self.timelines or {}).items():
+            if not isinstance(timeline, ConditionTimeline):
+                raise SessionError(
+                    f"timeline for {client_name!r} must be a "
+                    f"ConditionTimeline, got {type(timeline).__name__}"
+                )
+            if timeline.start_offset_s < -self.settle_s:
+                raise SessionError(
+                    f"timeline for {client_name!r} starts "
+                    f"{timeline.start_offset_s}s before the media window, "
+                    f"beyond the {self.settle_s}s settle period"
+                )
+            # A plan outliving the session would leave its boundary
+            # events queued on the (shared) simulator, to fire during
+            # whatever session runs next on the same testbed.  The
+            # tolerance absorbs one-ulp rounding of offset arithmetic
+            # (a plan spanning settle+media+grace exactly can overshoot
+            # the sum by rounding for non-dyadic durations).
+            end_offset = timeline.start_offset_s + timeline.total_duration_s
+            limit = self.duration_s + self.grace_s
+            if end_offset > limit + 1e-9 * max(1.0, abs(limit)):
+                raise SessionError(
+                    f"timeline for {client_name!r} runs {end_offset}s past "
+                    f"the media-window start, beyond the session's "
+                    f"{self.duration_s}s media + {self.grace_s}s grace"
+                )
 
     @property
     def motion(self) -> str:
@@ -143,6 +194,10 @@ class SessionArtifacts:
     content_feed: Optional[FrameSource] = None
     audio_source: Optional[SpeechLikeSource] = None
     media_window: tuple[float, float] = (0.0, 0.0)
+    condition_phases: Dict[str, List[PhaseWindow]] = field(default_factory=dict)
+    shaper_phase_stats: Dict[str, Dict[str, "ShaperStats"]] = field(
+        default_factory=dict
+    )
     video_decoders: Dict[str, Dict[str, object]] = field(default_factory=dict)
     audio_decoders: Dict[str, Dict[str, object]] = field(default_factory=dict)
     audio_frame_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
@@ -208,6 +263,84 @@ class SessionArtifacts:
         return self._media_rate(self.captures[client_name], Direction.IN)
 
     # ------------------------------------------------------------- #
+    # Per-phase segmentation (condition timelines).
+    # ------------------------------------------------------------- #
+
+    def phase_windows(self, client_name: str) -> List[PhaseWindow]:
+        """A client's timeline windows clipped to the media window.
+
+        Raises :class:`~repro.errors.MeasurementError` when the session
+        armed no timeline for the client.
+        """
+        windows = self.condition_phases.get(client_name)
+        if not windows:
+            raise MeasurementError(
+                f"{client_name} had no condition timeline in this session"
+            )
+        start, end = self.media_window
+        clipped = [w.clipped(start, end) for w in windows]
+        return [w for w in clipped if w is not None]
+
+    def phase_download_rates_bps(self, client_name: str) -> Dict[str, float]:
+        """Media download rate per timeline phase (phase name -> bps).
+
+        Windows sharing a name (a phase re-entered around an impulse)
+        pool their bytes and durations; a phase entirely starved of
+        packets reports 0 rather than raising, because "the cap choked
+        the stream to nothing" is a result, not a measurement failure.
+        """
+        capture = self.captures[client_name]
+        totals: Dict[str, float] = {}
+        durations: Dict[str, float] = {}
+        for window in self.phase_windows(client_name):
+            payload = capture.payload_bytes_between(
+                Direction.IN, window.start_s, window.end_s, kinds=MEDIA_KINDS
+            )
+            totals[window.name] = totals.get(window.name, 0.0) + payload
+            durations[window.name] = (
+                durations.get(window.name, 0.0) + window.duration_s
+            )
+        return {
+            name: totals[name] * 8.0 / durations[name]
+            for name in totals
+        }
+
+    def phase_freeze_fractions(self, client_name: str) -> Dict[str, float]:
+        """Fraction of recorder ticks showing a frozen frame, per phase.
+
+        The freeze fraction is the per-phase mean of the recorder's
+        boolean stale-flag series, so it shares the segmentation rules
+        (right-open windows, name pooling, NaN for empty phases) with
+        the per-phase QoE pipeline.
+        """
+        from .postprocess import segment_series_by_phase
+
+        recorder = self.recorders.get(client_name)
+        if recorder is None:
+            raise MeasurementError(f"{client_name} recorded no video")
+        segmented = segment_series_by_phase(
+            np.asarray(recorder.stale_flags, dtype=np.float64),
+            recorder.timestamps,
+            self.phase_windows(client_name),
+        )
+        return {name: mean for name, (_count, mean) in segmented.items()}
+
+    def phase_shaper_stats(self, client_name: str) -> Dict[str, ShaperStats]:
+        """Ingress-shaper counters by phase, scoped to *this* session.
+
+        Snapshotted (as deltas against the pre-session counters) when
+        the session ends, so artifacts stay stable and per-session even
+        though the underlying link -- and its lifetime counters -- are
+        shared across every session run on the testbed.
+        """
+        stats = self.shaper_phase_stats.get(client_name)
+        if stats is None:
+            raise MeasurementError(
+                f"{client_name} had no condition timeline in this session"
+            )
+        return stats
+
+    # ------------------------------------------------------------- #
     # Probing / endpoints.
     # ------------------------------------------------------------- #
 
@@ -256,6 +389,11 @@ class MeetingSession:
         simulator = self.network.simulator
         start_time = simulator.now
 
+        # Validate timelines before any side effect: a failure past
+        # this point would leave capture/join/media events queued on
+        # the shared simulator, to corrupt the next session run on it.
+        self._validate_timelines(start_time + config.settle_s)
+
         context = RateContext(
             num_participants=len(self.clients),
             motion=config.motion,
@@ -295,10 +433,16 @@ class MeetingSession:
 
         media_start = start_time + config.settle_s
         artifacts.media_window = (media_start, media_start + config.duration_s)
-        simulator.run(
-            until=start_time + config.settle_s + config.duration_s + config.grace_s
-        )
+        self._arm_timelines(artifacts, media_start)
+        until = start_time + config.settle_s + config.duration_s + config.grace_s
+        # Timeline plans may overshoot the natural window by rounding
+        # ulps; stretch the run so every restore event fires in-session
+        # rather than lingering into the next run on this simulator.
+        for windows in artifacts.condition_phases.values():
+            until = max(until, windows[-1].end_s)
+        simulator.run(until=until)
 
+        self._snapshot_shaper_stats(artifacts)
         for client in self.clients.values():
             client.host.stop_captures()
             client.receiver.stop_feedback_loop()
@@ -312,6 +456,64 @@ class MeetingSession:
             artifacts.audio_frame_counts[name] = counts
             client.leave()
         return artifacts
+
+    # ------------------------------------------------------------- #
+    # Network dynamics.
+    # ------------------------------------------------------------- #
+
+    def _validate_timelines(self, media_start: float) -> None:
+        """Reject bad timeline wiring before the session schedules events."""
+        for client_name, timeline in (self.config.timelines or {}).items():
+            if client_name not in self.clients:
+                raise SessionError(
+                    f"timeline targets {client_name!r}, not in this session"
+                )
+            try:
+                resolve_arm_start(
+                    self.network.simulator.now, media_start, timeline
+                )
+            except ConfigurationError as exc:
+                raise SessionError(str(exc)) from exc
+
+    def _arm_timelines(
+        self, artifacts: SessionArtifacts, media_start: float
+    ) -> None:
+        """Schedule every configured condition timeline on the simulator.
+
+        Timelines are armed relative to the media window (negative
+        offsets reach back into settle, e.g. a cap that must hold while
+        clients join); the compiled windows are recorded on the
+        artifacts so analyses can segment captures/recordings by phase.
+        """
+        self._shaper_baselines: Dict[str, Dict[str, ShaperStats]] = {}
+        for client_name, timeline in (self.config.timelines or {}).items():
+            client = self.clients[client_name]
+            artifacts.condition_phases[client_name] = arm_timeline(
+                self.network.simulator,
+                client.host.link,
+                timeline,
+                media_start,
+            )
+            # The link (and its lifetime shaper counters) outlives this
+            # session; remember where the counters stand so the session
+            # can report its own per-phase deltas.
+            self._shaper_baselines[client_name] = (
+                client.host.link.shaper_phase_stats()
+            )
+
+    def _snapshot_shaper_stats(self, artifacts: SessionArtifacts) -> None:
+        """Freeze this session's per-phase shaper deltas into artifacts."""
+        for client_name, baseline in self._shaper_baselines.items():
+            current = self.clients[client_name].host.link.shaper_phase_stats()
+            deltas = {
+                name: ShaperStats.delta(stats, baseline.get(name))
+                for name, stats in current.items()
+            }
+            artifacts.shaper_phase_stats[client_name] = {
+                name: stats
+                for name, stats in deltas.items()
+                if stats != ShaperStats()
+            }
 
     # ------------------------------------------------------------- #
     # Media plumbing.

@@ -20,11 +20,11 @@ from ..clients.wifi import residential_wifi_link
 from ..errors import ConfigurationError
 from ..net.clock import SyncedClockFactory
 from ..net.geo import LatencyModel
+from ..net.link import default_cap_burst
 from ..net.regions import RegionRegistry, default_registry
 from ..net.routing import Network
 from ..platforms import make_platform
 from ..platforms.base import PlatformModel, ViewContext
-from ..units import kbps
 from .session import MeetingSession, SessionArtifacts, SessionConfig
 
 
@@ -153,8 +153,23 @@ class Testbed:
         access link.
         """
         client = self.clients[client_name]
-        burst = 16_000 if rate_bps is None or rate_bps > kbps(400) else 8_000
-        client.host.link.set_ingress_cap(rate_bps, burst_bytes=burst)
+        client.host.link.set_ingress_cap(
+            rate_bps, burst_bytes=default_cap_burst(rate_bps)
+        )
+
+    def clear_conditions(self, client_name: str) -> None:
+        """Restore one client's access link to its base conditions.
+
+        The cleanup counterpart of :meth:`apply_bandwidth_cap` and of
+        timeline-driven sessions: experiment drivers call it in their
+        ``finally`` so an aborted session cannot leave a shared link
+        capped, lossy or delayed for whatever runs next.  Unknown
+        clients are ignored -- cleanup must not mask the original
+        error.
+        """
+        client = self.clients.get(client_name)
+        if client is not None:
+            client.host.link.clear_conditions(self.network.simulator.now)
 
     def run_session(
         self,

@@ -13,7 +13,9 @@ tables/figures:
 * :mod:`repro.experiments.bandwidth_study` — QoE under ingress caps
   (Figs. 17, 18),
 * :mod:`repro.experiments.mobile_study` — Android resource use
-  (Fig. 19, Table 4).
+  (Fig. 19, Table 4),
+* :mod:`repro.experiments.dynamics_study` — QoE under *time-varying*
+  conditions (bandwidth ramps, handover), reported per timeline phase.
 
 Every driver accepts an :class:`ExperimentScale`; ``QUICK_SCALE`` keeps
 benchmark runtimes in seconds, ``PAPER_SCALE`` approaches the paper's
@@ -24,6 +26,7 @@ parallel, persistent, resumable grid sweeps over them.
 """
 
 from .bandwidth_study import run_bandwidth_cell, run_bandwidth_grid
+from .dynamics_study import run_dynamics_cell, run_dynamics_grid
 from .endpoint_study import run_endpoint_study
 from .lag_study import run_all_platforms, run_lag_scenario
 from .mobile_study import run_figure19, run_mobile_scenario, run_table4
@@ -37,6 +40,8 @@ __all__ = [
     "run_all_platforms",
     "run_bandwidth_cell",
     "run_bandwidth_grid",
+    "run_dynamics_cell",
+    "run_dynamics_grid",
     "run_endpoint_study",
     "run_figure19",
     "run_lag_scenario",

@@ -9,7 +9,7 @@ mode on the low-motion sessions, which contain only human voice).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -18,11 +18,33 @@ from ..core.postprocess import score_recorded_audio, score_recorded_video
 from ..core.session import SessionConfig
 from ..core.testbed import Testbed, TestbedConfig
 from ..errors import MeasurementError
+from ..net.dynamics import ConditionTimeline, constant_timeline
+from ..net.link import default_cap_burst
 from ..units import kbps, mbps
 from .scale import ExperimentScale, QUICK_SCALE
 
 #: The download rate limits of Figures 17-18 (None = "Infinite").
 RATE_LIMITS = (kbps(250), kbps(500), mbps(1), None)
+
+
+def static_cap_timeline(
+    limit_bps: Optional[float], config: SessionConfig
+) -> ConditionTimeline:
+    """The Section 4.4 fixed cap as a degenerate one-phase timeline.
+
+    One phase spanning the whole session -- armed at the start of
+    settle (the tc filter is installed before the meeting begins) and
+    held through the grace drain -- reproduces the static
+    ``set_ingress_cap`` setup bit-for-bit while running through the
+    dynamics engine like any scripted scenario.
+    """
+    return constant_timeline(
+        duration_s=config.settle_s + config.duration_s + config.grace_s,
+        name=limit_label(limit_bps),
+        start_offset_s=-config.settle_s,
+        ingress_cap_bps=limit_bps,
+        cap_burst_bytes=default_cap_burst(limit_bps),
+    )
 
 
 def limit_label(limit_bps: Optional[float]) -> str:
@@ -76,7 +98,6 @@ def run_bandwidth_cell(
     moses: List[float] = []
     downloads: List[float] = []
     frozen_total = 0
-    testbed.apply_bandwidth_cap(capped_client, limit_bps)
     try:
         for session_index in range(scale.sessions):
             config = SessionConfig(
@@ -91,6 +112,17 @@ def run_bandwidth_cell(
                 gop_size=30,
                 session_index=session_index,
                 feed_seed=scale.seed + session_index,
+            )
+            # The fixed cap rides the dynamics engine as a one-phase
+            # timeline covering settle through grace; the engine
+            # restores the uncapped link when the session's plan ends.
+            # replace() re-runs SessionConfig validation with the
+            # timeline in place.
+            config = replace(
+                config,
+                timelines={
+                    capped_client: static_cap_timeline(limit_bps, config)
+                },
             )
             artifacts = testbed.run_session(platform_name, names, host, config)
             recorder = artifacts.recorders[capped_client]
@@ -114,7 +146,10 @@ def run_bandwidth_cell(
                 capped_client
             ).frames_frozen
     finally:
-        testbed.apply_bandwidth_cap(capped_client, None)
+        # A session that aborts mid-run leaves its timeline partially
+        # executed; restore the shared link so later cells on this
+        # testbed start unconditioned (the old static path's finally).
+        testbed.clear_conditions(capped_client)
 
     if not psnrs:
         raise MeasurementError("bandwidth cell produced no sessions")

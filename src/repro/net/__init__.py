@@ -10,6 +10,8 @@ access network for the mobile testbed).  It provides:
 * :mod:`repro.net.node` — hosts with ports, clocks and captures,
 * :mod:`repro.net.link` — access links with serialisation and queueing,
 * :mod:`repro.net.shaper` — token-bucket ingress shaping (tc/ifb),
+* :mod:`repro.net.dynamics` — scripted, time-varying condition
+  timelines compiled onto the simulator,
 * :mod:`repro.net.capture` — tcpdump-like packet capture,
 * :mod:`repro.net.routing` — the fabric that moves packets between hosts.
 """
@@ -17,6 +19,18 @@ access network for the mobile testbed).  It provides:
 from .address import Address, EndpointKey
 from .capture import CapturedPacket, Capture, Direction
 from .clock import Clock, SyncedClockFactory
+from .dynamics import (
+    ConditionPhase,
+    ConditionTimeline,
+    ImpulseEvent,
+    LinkConditions,
+    PhaseWindow,
+    arm_timeline,
+    bandwidth_ramp_timeline,
+    constant_timeline,
+    cross_traffic_timeline,
+    handover_timeline,
+)
 from .geo import GeoPoint, LatencyModel, great_circle_km
 from .link import AccessLink
 from .node import Host
@@ -24,7 +38,7 @@ from .packet import Packet, Protocol
 from .regions import Region, RegionRegistry, default_registry
 from .routing import Network
 from .shaper import TokenBucketShaper
-from .simulator import Simulator
+from .simulator import PeriodicTask, Simulator
 
 __all__ = [
     "AccessLink",
@@ -32,19 +46,30 @@ __all__ = [
     "Capture",
     "CapturedPacket",
     "Clock",
+    "ConditionPhase",
+    "ConditionTimeline",
     "Direction",
     "EndpointKey",
     "GeoPoint",
     "Host",
+    "ImpulseEvent",
     "LatencyModel",
+    "LinkConditions",
     "Network",
     "Packet",
+    "PeriodicTask",
+    "PhaseWindow",
     "Protocol",
     "Region",
     "RegionRegistry",
     "Simulator",
     "SyncedClockFactory",
     "TokenBucketShaper",
+    "arm_timeline",
+    "bandwidth_ramp_timeline",
+    "constant_timeline",
+    "cross_traffic_timeline",
     "default_registry",
     "great_circle_km",
+    "handover_timeline",
 ]

@@ -12,6 +12,7 @@ lag detector of Figure 2.
 
 from __future__ import annotations
 
+import bisect
 import enum
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Set, Tuple
@@ -79,6 +80,7 @@ class Capture:
         self.host_name = host_name
         self._records: List[CapturedPacket] = []
         self._running = True
+        self._timestamps: Optional[List[float]] = None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -99,6 +101,7 @@ class Capture:
         """Append one packet record (called by the owning host)."""
         if not self._running:
             return
+        self._timestamps = None
         self._records.append(
             CapturedPacket(
                 timestamp=local_time,
@@ -164,6 +167,35 @@ class Capture:
     ) -> int:
         """Sum of L7 payload bytes in one direction."""
         return sum(r.payload_bytes for r in self.filter(direction=direction, kind=kind))
+
+    def payload_bytes_between(
+        self,
+        direction: Direction,
+        start: float,
+        end: float,
+        kinds: Optional[Iterable[PacketKind]] = None,
+    ) -> int:
+        """L7 payload bytes in ``[start, end)`` -- one timeline phase.
+
+        The right-open window matches phase segmentation: a packet on
+        a phase boundary belongs to the phase it *enters*, so summing
+        over consecutive windows never double-counts.  Records are
+        appended in timestamp order (event order through a monotonic
+        affine clock), so the window is located by bisection over a
+        cached timestamp index -- many-phase timelines (trace replay)
+        stay cheap even over large captures.
+        """
+        if self._timestamps is None:
+            self._timestamps = [r.timestamp for r in self._records]
+        lo = bisect.bisect_left(self._timestamps, start)
+        hi = bisect.bisect_left(self._timestamps, end, lo)
+        kind_set = set(kinds) if kinds is not None else None
+        return sum(
+            r.payload_bytes
+            for r in self._records[lo:hi]
+            if r.direction is direction
+            and (kind_set is None or r.kind in kind_set)
+        )
 
     def payload_rate_bps(
         self,

@@ -1,0 +1,606 @@
+"""Time-varying network dynamics: scripted condition timelines.
+
+The paper's most interesting findings come from *changing* network
+conditions -- the Section 4.4 bandwidth caps and the Section 5
+residential-WiFi mobile rack.  This module makes link conditions
+first-class, time-varying simulation state:
+
+* :class:`LinkConditions` -- one piecewise-constant condition set
+  (bandwidth cap, link rate overrides, latency/jitter adders, loss),
+* :class:`ConditionPhase` -- a named span of conditions,
+* :class:`ImpulseEvent` -- a transient overlay (a handover outage, a
+  cross-traffic onset) spliced on top of the phase plan,
+* :class:`ConditionTimeline` -- the declarative per-host schedule; it
+  *compiles* to a list of :class:`PhaseWindow` segments and is armed on
+  the simulator by :func:`arm_timeline`, which mutates the host's
+  :class:`~repro.net.link.AccessLink` at each boundary.
+
+Everything is JSON-serializable (:meth:`ConditionTimeline.to_dict` /
+``from_dict``), so timelines travel through campaign grids with
+spec-hash integrity like any other axis value.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from .link import default_cap_burst
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .link import AccessLink
+    from .simulator import Simulator
+
+#: Tag wrapped around timelines used as campaign axis values, so the
+#: registry can tell a serialized timeline from an ordinary dict param.
+TIMELINE_TAG = "__timeline__"
+
+
+@dataclass(frozen=True)
+class LinkConditions:
+    """One piecewise-constant set of access-network conditions.
+
+    ``None`` rates mean "the link's base value"; an all-default
+    instance is therefore the unconditioned network, and applying it
+    restores a link to its constructed state.
+
+    Attributes:
+        uplink_bps / downlink_bps: Serialisation rate overrides.
+        ingress_cap_bps: Token-bucket ingress cap (tc/ifb position);
+            ``None`` means uncapped.
+        cap_burst_bytes: Bucket depth for the cap (``None`` applies
+            :func:`~repro.net.link.default_cap_burst`).
+        extra_latency_s: One-way delay adder for this host's packets.
+        extra_jitter_s: Scale of a random extra delay (gamma-shaped,
+            like the fabric's own jitter); 0 draws nothing.
+        loss_rate: Packet loss probability at this access; 0 draws
+            nothing.
+    """
+
+    uplink_bps: Optional[float] = None
+    downlink_bps: Optional[float] = None
+    ingress_cap_bps: Optional[float] = None
+    cap_burst_bytes: Optional[int] = None
+    extra_latency_s: float = 0.0
+    extra_jitter_s: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("uplink_bps", "downlink_bps", "ingress_cap_bps"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        if self.cap_burst_bytes is not None and self.cap_burst_bytes <= 0:
+            raise ConfigurationError("cap_burst_bytes must be positive")
+        if self.extra_latency_s < 0 or self.extra_jitter_s < 0:
+            raise ConfigurationError("latency adders must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+
+    @property
+    def is_neutral(self) -> bool:
+        """Whether applying this leaves a link at its base state."""
+        return self == LinkConditions()
+
+    def burst_bytes(self) -> Optional[int]:
+        """The effective bucket depth for the cap (``None`` = no cap)."""
+        if self.ingress_cap_bps is None:
+            return None
+        if self.cap_burst_bytes is not None:
+            return self.cap_burst_bytes
+        return default_cap_burst(self.ingress_cap_bps)
+
+    def overlaid(self, impulse: "LinkConditions") -> "LinkConditions":
+        """These conditions with an impulse's transient overlay on top.
+
+        Rate/cap overrides take the impulse's value when it sets one;
+        latency and jitter adders stack; loss combines as independent
+        drop processes (``1 - (1-a)(1-b)``).
+        """
+        return LinkConditions(
+            uplink_bps=(
+                impulse.uplink_bps
+                if impulse.uplink_bps is not None
+                else self.uplink_bps
+            ),
+            downlink_bps=(
+                impulse.downlink_bps
+                if impulse.downlink_bps is not None
+                else self.downlink_bps
+            ),
+            ingress_cap_bps=(
+                impulse.ingress_cap_bps
+                if impulse.ingress_cap_bps is not None
+                else self.ingress_cap_bps
+            ),
+            cap_burst_bytes=(
+                impulse.cap_burst_bytes
+                if impulse.cap_burst_bytes is not None
+                else self.cap_burst_bytes
+            ),
+            extra_latency_s=self.extra_latency_s + impulse.extra_latency_s,
+            extra_jitter_s=self.extra_jitter_s + impulse.extra_jitter_s,
+            loss_rate=1.0 - (1.0 - self.loss_rate) * (1.0 - impulse.loss_rate),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable form (defaults elided)."""
+        data: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value != spec.default:
+                data[spec.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LinkConditions":
+        """Rebuild conditions persisted with :meth:`to_dict`."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown condition fields: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
+
+
+def conditions(**kwargs: Any) -> LinkConditions:
+    """Keyword sugar for :class:`LinkConditions`."""
+    return LinkConditions(**kwargs)
+
+
+@dataclass(frozen=True)
+class ConditionPhase:
+    """A named span of constant conditions within a timeline."""
+
+    name: str
+    duration_s: float
+    conditions: LinkConditions = field(default_factory=LinkConditions)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a phase needs a name")
+        if self.duration_s <= 0:
+            raise ConfigurationError(
+                f"phase {self.name!r} duration must be positive"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "conditions": self.conditions.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConditionPhase":
+        try:
+            return cls(
+                name=data["name"],
+                duration_s=float(data["duration_s"]),
+                conditions=LinkConditions.from_dict(data.get("conditions", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad phase record: {exc!r}") from exc
+
+
+def phase(name: str, duration_s: float, **condition_kwargs: Any) -> ConditionPhase:
+    """Author a phase inline: ``phase("lte", 10, ingress_cap_bps=2e6)``."""
+    return ConditionPhase(
+        name=name,
+        duration_s=duration_s,
+        conditions=LinkConditions(**condition_kwargs),
+    )
+
+
+@dataclass(frozen=True)
+class ImpulseEvent:
+    """A transient condition overlay at a point in the timeline.
+
+    Impulses model the paper's punctual network events -- a WiFi->LTE
+    handover outage, a cross-traffic onset -- without re-authoring the
+    phase plan around them: during ``[at_s, at_s + duration_s)`` the
+    impulse's conditions are overlaid on whatever phase is active
+    (:meth:`LinkConditions.overlaid`), and compilation splits the
+    affected phase windows accordingly.
+    """
+
+    kind: str
+    at_s: float
+    duration_s: float
+    conditions: LinkConditions = field(default_factory=LinkConditions)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ConfigurationError("an impulse needs a kind label")
+        if self.at_s < 0:
+            raise ConfigurationError("impulse at_s must be >= 0")
+        if self.duration_s <= 0:
+            raise ConfigurationError("impulse duration must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "at_s": self.at_s,
+            "duration_s": self.duration_s,
+            "conditions": self.conditions.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ImpulseEvent":
+        try:
+            return cls(
+                kind=data["kind"],
+                at_s=float(data["at_s"]),
+                duration_s=float(data["duration_s"]),
+                conditions=LinkConditions.from_dict(data.get("conditions", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad impulse record: {exc!r}") from exc
+
+
+def impulse(
+    kind: str, at_s: float, duration_s: float, **condition_kwargs: Any
+) -> ImpulseEvent:
+    """Author an impulse inline: ``impulse("outage", 5, 0.3, loss_rate=0.999)``."""
+    return ImpulseEvent(
+        kind=kind,
+        at_s=at_s,
+        duration_s=duration_s,
+        conditions=LinkConditions(**condition_kwargs),
+    )
+
+
+@dataclass(frozen=True)
+class PhaseWindow:
+    """One compiled, absolute-time segment of constant conditions."""
+
+    name: str
+    start_s: float
+    end_s: float
+    conditions: LinkConditions
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def clipped(self, lo: float, hi: float) -> Optional["PhaseWindow"]:
+        """This window intersected with ``[lo, hi]`` (``None`` if empty)."""
+        start = max(self.start_s, lo)
+        end = min(self.end_s, hi)
+        if end <= start:
+            return None
+        return replace(self, start_s=start, end_s=end)
+
+
+@dataclass(frozen=True)
+class ConditionTimeline:
+    """A declarative per-host schedule of network conditions.
+
+    Attributes:
+        phases: The base piecewise-constant plan, in order.  Phase
+            names must be unique (they key per-phase reports).
+        impulses: Transient overlays spliced on top of the plan.
+        start_offset_s: Arming offset relative to the media-window
+            start; negative offsets reach back into the settle window
+            (a cap that must already hold while clients join).
+    """
+
+    phases: Tuple[ConditionPhase, ...]
+    impulses: Tuple[ImpulseEvent, ...] = ()
+    start_offset_s: float = 0.0
+
+    def __init__(
+        self,
+        phases: Sequence[ConditionPhase],
+        impulses: Sequence[ImpulseEvent] = (),
+        start_offset_s: float = 0.0,
+    ) -> None:
+        phases = tuple(phases)
+        impulses = tuple(sorted(impulses, key=lambda i: i.at_s))
+        if not phases:
+            raise ConfigurationError("a timeline needs at least one phase")
+        names = [p.name for p in phases]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"phase names must be unique: {names}")
+        total = sum(p.duration_s for p in phases)
+        for event in impulses:
+            if event.at_s >= total:
+                raise ConfigurationError(
+                    f"impulse {event.kind!r} at {event.at_s}s is past the "
+                    f"timeline end ({total}s)"
+                )
+        object.__setattr__(self, "phases", phases)
+        object.__setattr__(self, "impulses", impulses)
+        object.__setattr__(self, "start_offset_s", float(start_offset_s))
+
+    # ------------------------------------------------------------- #
+    # Introspection.
+    # ------------------------------------------------------------- #
+
+    @property
+    def total_duration_s(self) -> float:
+        """Length of the phase plan."""
+        return sum(p.duration_s for p in self.phases)
+
+    def phase_names(self) -> List[str]:
+        """Base phase names, in plan order."""
+        return [p.name for p in self.phases]
+
+    # ------------------------------------------------------------- #
+    # Compilation.
+    # ------------------------------------------------------------- #
+
+    def compile(self, start_s: float) -> List[PhaseWindow]:
+        """The timeline as absolute-time windows starting at ``start_s``.
+
+        Impulse overlays split the base windows they intersect; the
+        impulse segment is named ``"<phase>+<kind>"`` so per-phase
+        reports keep the transient separate from its host phase.
+        """
+        edges: List[float] = [0.0]
+        for base in self.phases:
+            edges.append(edges[-1] + base.duration_s)
+        boundaries = set(edges)
+        for event in self.impulses:
+            boundaries.add(event.at_s)
+            boundaries.add(min(event.at_s + event.duration_s, edges[-1]))
+        cuts = sorted(boundaries)
+
+        windows: List[PhaseWindow] = []
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            base_index = self._phase_index_at(edges, lo)
+            base = self.phases[base_index]
+            name = base.name
+            active = base.conditions
+            for event in self.impulses:
+                if event.at_s <= lo < event.at_s + event.duration_s:
+                    active = active.overlaid(event.conditions)
+                    name = f"{name}+{event.kind}"
+            window = PhaseWindow(
+                name=name,
+                start_s=start_s + lo,
+                end_s=start_s + hi,
+                conditions=active,
+            )
+            # Merge consecutive identical segments (cuts that changed
+            # nothing, e.g. an impulse boundary inside a like phase).
+            if (
+                windows
+                and windows[-1].name == window.name
+                and windows[-1].conditions == window.conditions
+            ):
+                windows[-1] = replace(windows[-1], end_s=window.end_s)
+            else:
+                windows.append(window)
+        return windows
+
+    @staticmethod
+    def _phase_index_at(edges: List[float], offset: float) -> int:
+        """Index of the base phase covering ``offset`` (right-open).
+
+        Bisection over the (sorted, cumulative) edges keeps compiling a
+        many-phase timeline -- e.g. a throughput trace replayed as one
+        phase per record -- O(P log P) instead of O(P^2).
+        """
+        index = bisect.bisect_right(edges, offset) - 1
+        return min(max(index, 0), len(edges) - 2)
+
+    # ------------------------------------------------------------- #
+    # Serialization.
+    # ------------------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable form (campaign axes, stores, hashing)."""
+        data: Dict[str, Any] = {
+            "phases": [p.to_dict() for p in self.phases],
+        }
+        if self.impulses:
+            data["impulses"] = [i.to_dict() for i in self.impulses]
+        if self.start_offset_s:
+            data["start_offset_s"] = self.start_offset_s
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConditionTimeline":
+        """Rebuild a timeline persisted with :meth:`to_dict`."""
+        try:
+            return cls(
+                phases=[ConditionPhase.from_dict(p) for p in data["phases"]],
+                impulses=[
+                    ImpulseEvent.from_dict(i) for i in data.get("impulses", ())
+                ],
+                start_offset_s=float(data.get("start_offset_s", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad timeline record: {exc!r}") from exc
+
+    def as_axis_value(self) -> Dict[str, Any]:
+        """The tagged form campaign grids carry as an axis value."""
+        return {TIMELINE_TAG: self.to_dict()}
+
+    @classmethod
+    def coerce(cls, value: Any) -> Optional["ConditionTimeline"]:
+        """A timeline from any accepted spelling (``None`` passes)."""
+        if value is None or isinstance(value, ConditionTimeline):
+            return value
+        if isinstance(value, Mapping):
+            if TIMELINE_TAG in value:
+                return cls.from_dict(value[TIMELINE_TAG])
+            return cls.from_dict(value)
+        raise ConfigurationError(
+            f"cannot interpret {type(value).__name__} as a timeline"
+        )
+
+
+# ----------------------------------------------------------------- #
+# Authoring helpers.
+# ----------------------------------------------------------------- #
+
+
+def constant_timeline(
+    duration_s: float,
+    name: str = "steady",
+    start_offset_s: float = 0.0,
+    **condition_kwargs: Any,
+) -> ConditionTimeline:
+    """A degenerate one-phase timeline holding conditions constant.
+
+    The static experiments (Section 4.4's fixed caps) are this: one
+    phase covering the whole session.
+    """
+    return ConditionTimeline(
+        phases=(phase(name, duration_s, **condition_kwargs),),
+        start_offset_s=start_offset_s,
+    )
+
+
+def bandwidth_ramp_timeline(
+    caps_bps: Sequence[Optional[float]],
+    step_s: float,
+    start_offset_s: float = 0.0,
+) -> ConditionTimeline:
+    """Step through a sequence of ingress caps, ``step_s`` each.
+
+    ``None`` entries are uncapped steps, so a step-down/step-up ramp is
+    simply ``(None, 1e6, 250e3, 1e6, None)``.
+    """
+    def label(cap: Optional[float], index: int) -> str:
+        if cap is None:
+            return f"p{index}-uncapped"
+        if cap >= 1e6:
+            return f"p{index}-{cap / 1e6:g}mbps"
+        return f"p{index}-{cap / 1e3:g}kbps"
+
+    return ConditionTimeline(
+        phases=tuple(
+            ConditionPhase(
+                name=label(cap, index),
+                duration_s=step_s,
+                conditions=LinkConditions(ingress_cap_bps=cap),
+            )
+            for index, cap in enumerate(caps_bps)
+        ),
+        start_offset_s=start_offset_s,
+    )
+
+
+def handover_timeline(
+    before_s: float,
+    after_s: float,
+    before: Optional[LinkConditions] = None,
+    after: Optional[LinkConditions] = None,
+    outage_s: float = 0.3,
+    outage_loss: float = 0.999,
+    start_offset_s: float = 0.0,
+) -> ConditionTimeline:
+    """A WiFi->LTE style handover: two regimes with a break between.
+
+    The radio switch itself is an impulse overlaying near-total loss on
+    the first ``outage_s`` of the second regime -- the Section 5 rack's
+    phones dropping off WiFi before LTE attaches.
+    """
+    wifi = before if before is not None else LinkConditions()
+    lte = after if after is not None else LinkConditions(
+        ingress_cap_bps=2e6, extra_latency_s=0.04, extra_jitter_s=0.01
+    )
+    return ConditionTimeline(
+        phases=(
+            ConditionPhase("wifi", before_s, wifi),
+            ConditionPhase("lte", after_s, lte),
+        ),
+        impulses=(
+            ImpulseEvent(
+                kind="handover",
+                at_s=before_s,
+                duration_s=outage_s,
+                conditions=LinkConditions(loss_rate=outage_loss),
+            ),
+        ),
+        start_offset_s=start_offset_s,
+    )
+
+
+def cross_traffic_timeline(
+    duration_s: float,
+    onset_s: float,
+    contention_s: float,
+    contended_cap_bps: float,
+    start_offset_s: float = 0.0,
+) -> ConditionTimeline:
+    """An idle access that a competing flow squeezes for a while."""
+    return ConditionTimeline(
+        phases=(phase("idle", duration_s),),
+        impulses=(
+            ImpulseEvent(
+                kind="cross-traffic",
+                at_s=onset_s,
+                duration_s=contention_s,
+                conditions=LinkConditions(ingress_cap_bps=contended_cap_bps),
+            ),
+        ),
+        start_offset_s=start_offset_s,
+    )
+
+
+# ----------------------------------------------------------------- #
+# Arming on the simulator.
+# ----------------------------------------------------------------- #
+
+#: Relative slack absorbing float rounding of ``media_start + offset``:
+#: a timeline reaching back exactly to the session start can land one
+#: ulp before "now" when accumulated session times are not dyadic.
+ARM_TOLERANCE = 1e-9
+
+
+def resolve_arm_start(
+    now: float, media_start_s: float, timeline: ConditionTimeline
+) -> float:
+    """The absolute arming time of a timeline, clamped to ``now``.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the timeline
+    genuinely starts in the past; a sub-tolerance shortfall (float
+    rounding of the offset arithmetic) is clamped to ``now`` instead.
+    """
+    start = media_start_s + timeline.start_offset_s
+    if start < now:
+        if now - start <= ARM_TOLERANCE * max(1.0, abs(now)):
+            return now
+        raise ConfigurationError(
+            f"timeline would arm at {start:.3f}s, before current time "
+            f"{now:.3f}s (start_offset_s too negative?)"
+        )
+    return start
+
+
+def arm_timeline(
+    simulator: "Simulator",
+    link: "AccessLink",
+    timeline: ConditionTimeline,
+    media_start_s: float,
+) -> List[PhaseWindow]:
+    """Compile a timeline and schedule its boundary events.
+
+    The timeline is armed relative to the media window: phase 0 enters
+    at ``media_start_s + timeline.start_offset_s``, each subsequent
+    window at its own boundary, and a final event restores the link's
+    base conditions when the plan ends.  Returns the compiled windows
+    (callers record them for per-phase analysis).
+    """
+    start = resolve_arm_start(simulator.now, media_start_s, timeline)
+    windows = timeline.compile(start)
+    for window in windows:
+        simulator.schedule_at(
+            window.start_s,
+            link.apply_conditions,
+            window.start_s,
+            window.conditions,
+            window.name,
+        )
+    end = windows[-1].end_s
+    simulator.schedule_at(end, link.clear_conditions, end)
+    return windows

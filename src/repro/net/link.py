@@ -9,16 +9,36 @@ Serialisation is modelled with a per-direction virtual clock: a packet
 departs at ``max(now, link_free) + wire_bits / rate`` and the link is
 busy until then.  An optional ingress :class:`TokenBucketShaper`
 reproduces the Section 4.4 bandwidth-cap setup.
+
+Links are first-class *time-varying* simulation state: rates can change
+mid-flight (:meth:`AccessLink.set_rates` rebases the serialisation
+clocks so queued bits drain at the new rate), condition adders
+(:attr:`extra_latency_s`, :attr:`extra_jitter_s`, :attr:`loss_rate`)
+shift the wide-area path, and :meth:`AccessLink.apply_conditions` is
+the single entry point a :class:`~repro.net.dynamics.ConditionTimeline`
+drives to script all of it per phase.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, TYPE_CHECKING, Tuple
 
 from ..errors import ConfigurationError
 from ..units import gbps, transmission_delay
-from .shaper import TokenBucketShaper
+from .shaper import ShaperStats, TokenBucketShaper
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .dynamics import LinkConditions
+
+
+def default_cap_burst(rate_bps: Optional[float]) -> int:
+    """The tc-style burst heuristic used by the Section 4.4 setup.
+
+    Tight caps get a shallower bucket so bursts cannot blow through the
+    limit (matching the paper's tbf parameters at 250 Kbps).
+    """
+    return 16_000 if rate_bps is None or rate_bps > 400_000 else 8_000
 
 
 @dataclass
@@ -26,21 +46,46 @@ class AccessLink:
     """A host's attachment to the network.
 
     Attributes:
-        uplink_bps: Transmit capacity in bits/second.
+        uplink_bps: Transmit capacity in bits/second (current value;
+            may be scripted mid-session by a condition timeline).
         downlink_bps: Receive capacity in bits/second.
         ingress_shaper: Optional token-bucket applied to incoming
             packets *before* downlink serialisation (tc/ifb position).
+        extra_latency_s: Additional one-way delay on every packet this
+            host sends or receives (a netem ``delay`` adder).
+        extra_jitter_s: Scale of an additional random delay component
+            (netem ``delay ... jitter``); 0 disables the draw entirely
+            so static sessions consume no randomness.
+        loss_rate: Probability that a packet crossing this access is
+            dropped (netem ``loss``); 0 disables the draw.
     """
 
     uplink_bps: float = gbps(2)
     downlink_bps: float = gbps(2)
     ingress_shaper: Optional[TokenBucketShaper] = None
+    extra_latency_s: float = 0.0
+    extra_jitter_s: float = 0.0
+    loss_rate: float = 0.0
     _uplink_free: float = field(default=0.0, repr=False)
     _downlink_free: float = field(default=0.0, repr=False)
+    _retired_shaper_phases: List[Tuple[str, ShaperStats]] = field(
+        default_factory=list, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.uplink_bps <= 0 or self.downlink_bps <= 0:
             raise ConfigurationError("link rates must be positive")
+        self._validate_conditions()
+        # The construction-time rates are the link's *base* conditions,
+        # restored whenever a timeline phase does not override them.
+        self.base_uplink_bps = self.uplink_bps
+        self.base_downlink_bps = self.downlink_bps
+
+    def _validate_conditions(self) -> None:
+        if self.extra_latency_s < 0 or self.extra_jitter_s < 0:
+            raise ConfigurationError("latency adders must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(f"loss rate out of range: {self.loss_rate}")
 
     def reserve_uplink(self, now: float, wire_bytes: int) -> float:
         """Queue a packet for transmission; returns its departure time."""
@@ -56,6 +101,41 @@ class AccessLink:
         self._downlink_free = delivery
         return delivery
 
+    # ------------------------------------------------------------- #
+    # Mid-flight rate changes.
+    # ------------------------------------------------------------- #
+
+    def set_rates(
+        self,
+        now: float,
+        uplink_bps: Optional[float] = None,
+        downlink_bps: Optional[float] = None,
+    ) -> None:
+        """Change link rates mid-flight, rebasing the virtual clocks.
+
+        ``None`` keeps a direction unchanged.  The seconds of backlog
+        already committed to each direction are converted to bits at
+        the old rate and re-queued at the new one, so a rate *drop*
+        stretches the pending queue and a rate *raise* drains it faster
+        -- exactly what re-programming a serialising interface does.
+        """
+        if uplink_bps is not None and uplink_bps != self.uplink_bps:
+            if uplink_bps <= 0:
+                raise ConfigurationError("link rates must be positive")
+            backlog_bits = max(0.0, self._uplink_free - now) * self.uplink_bps
+            self.uplink_bps = uplink_bps
+            self._uplink_free = now + backlog_bits / uplink_bps
+        if downlink_bps is not None and downlink_bps != self.downlink_bps:
+            if downlink_bps <= 0:
+                raise ConfigurationError("link rates must be positive")
+            backlog_bits = max(0.0, self._downlink_free - now) * self.downlink_bps
+            self.downlink_bps = downlink_bps
+            self._downlink_free = now + backlog_bits / downlink_bps
+
+    # ------------------------------------------------------------- #
+    # Ingress shaping.
+    # ------------------------------------------------------------- #
+
     def set_ingress_cap(
         self,
         rate_bps: Optional[float],
@@ -65,8 +145,12 @@ class AccessLink:
         """Install (or with ``None``, remove) an ingress bandwidth cap.
 
         This is the experiment hook for Section 4.4: ``None`` restores
-        the "Infinite" column of Figures 17-18.
+        the "Infinite" column of Figures 17-18.  Replacing or removing
+        a shaper retires its counters into the link's shaper history
+        (:meth:`shaper_stats_total`), so drop counts survive cap
+        changes instead of vanishing with the old shaper object.
         """
+        self._retire_shaper()
         if rate_bps is None:
             self.ingress_shaper = None
             return
@@ -75,6 +159,88 @@ class AccessLink:
             burst_bytes=burst_bytes,
             max_queue_delay_s=max_queue_delay_s,
         )
+
+    def _retire_shaper(self) -> None:
+        if self.ingress_shaper is not None:
+            self._retired_shaper_phases.extend(
+                self.ingress_shaper.stats_by_phase().items()
+            )
+            self.ingress_shaper = None
+
+    def shaper_phase_stats(self) -> "dict[str, ShaperStats]":
+        """Shaper counters by phase, across every shaper ever installed."""
+        phases: "dict[str, ShaperStats]" = {}
+        current = (
+            self.ingress_shaper.stats_by_phase().items()
+            if self.ingress_shaper is not None
+            else []
+        )
+        for name, stats in list(self._retired_shaper_phases) + list(current):
+            phases.setdefault(name, ShaperStats()).absorb(stats)
+        return phases
+
+    def shaper_stats_total(self) -> ShaperStats:
+        """Counters summed over retired and live shapers."""
+        return ShaperStats.merged(list(self.shaper_phase_stats().values()))
+
+    # ------------------------------------------------------------- #
+    # Scripted conditions (driven by a ConditionTimeline).
+    # ------------------------------------------------------------- #
+
+    def apply_conditions(
+        self,
+        now: float,
+        conditions: "LinkConditions",
+        phase: Optional[str] = None,
+    ) -> None:
+        """Switch the link to one phase's conditions, mid-flight safe.
+
+        Rates fall back to the construction-time base when a condition
+        leaves them unset; the ingress cap is re-rated in place (queue
+        preserved, counters rolled to the new phase) when a shaper is
+        already installed, installed fresh when absent, and retired
+        when the phase is uncapped.
+        """
+        self.set_rates(
+            now,
+            conditions.uplink_bps
+            if conditions.uplink_bps is not None
+            else self.base_uplink_bps,
+            conditions.downlink_bps
+            if conditions.downlink_bps is not None
+            else self.base_downlink_bps,
+        )
+        self.extra_latency_s = conditions.extra_latency_s
+        self.extra_jitter_s = conditions.extra_jitter_s
+        self.loss_rate = conditions.loss_rate
+        self._validate_conditions()
+        cap = conditions.ingress_cap_bps
+        if cap is None:
+            if self.ingress_shaper is not None:
+                self.set_ingress_cap(None)
+            return
+        burst = conditions.burst_bytes()
+        if self.ingress_shaper is None:
+            self.set_ingress_cap(cap, burst_bytes=burst)
+            if phase is not None:
+                self.ingress_shaper.phase_name = phase
+        else:
+            self.ingress_shaper.set_rate(now, cap, burst_bytes=burst)
+            if phase is not None:
+                self.ingress_shaper.start_phase(phase)
+
+    def clear_conditions(self, now: float) -> None:
+        """Restore base rates and remove every scripted condition."""
+        self.set_rates(now, self.base_uplink_bps, self.base_downlink_bps)
+        self.extra_latency_s = 0.0
+        self.extra_jitter_s = 0.0
+        self.loss_rate = 0.0
+        if self.ingress_shaper is not None:
+            self.set_ingress_cap(None)
+
+    # ------------------------------------------------------------- #
+    # Introspection.
+    # ------------------------------------------------------------- #
 
     def uplink_backlog(self, now: float) -> float:
         """Seconds of queued transmission ahead of a new packet."""

@@ -66,6 +66,7 @@ class Network:
         self._ip_allocator = IpAllocator()
         self.packets_lost = 0
         self.packets_shaper_dropped = 0
+        self.packets_condition_lost = 0
 
     # ----------------------------------------------------------------- #
     # Topology.
@@ -135,11 +136,25 @@ class Network:
             return
         source = self.host_by_ip(packet.src.ip)
         destination = self.host_by_ip(packet.dst.ip)
+        # Scripted egress loss (e.g. a handover outage at the sender's
+        # access).  The draw only happens when a timeline has set a
+        # loss rate, so static sessions consume no randomness here.
+        if source.link.loss_rate > 0 and self.rng.random() < source.link.loss_rate:
+            self.packets_condition_lost += 1
+            return
         delay = self.one_way_delay(source, destination, sample_jitter=True)
         self.simulator.schedule(delay, self._arrive, packet, destination)
 
     def _arrive(self, packet: Packet, destination: Host) -> None:
         now = self.simulator.now
+        # Scripted ingress loss, checked at arrival so packets already
+        # in flight when a phase flips are dropped by the new regime.
+        if (
+            destination.link.loss_rate > 0
+            and self.rng.random() < destination.link.loss_rate
+        ):
+            self.packets_condition_lost += 1
+            return
         release = now
         shaper = destination.link.ingress_shaper
         if shaper is not None:
@@ -163,15 +178,26 @@ class Network:
         With ``sample_jitter`` a random per-packet jitter component is
         added, drawn from a gamma distribution (always positive, long
         tail) scaled by the latency model's jitter fraction.
+
+        Scripted access conditions contribute too: each endpoint's
+        link-level latency adder extends the path, and link-level
+        jitter scales draw extra gamma components (both are exact
+        no-ops -- no rng consumed -- while the adders are zero, which
+        is what keeps static sessions bit-identical).
         """
         base = self.latency_model.one_way_delay_s(a.location, b.location)
+        base += a.link.extra_latency_s + b.link.extra_latency_s
         if not sample_jitter:
             return base
         scale = self.latency_model.jitter_scale_s(a.location, b.location)
-        if scale <= 0:
-            return base
-        jitter = float(self.rng.gamma(shape=2.0, scale=scale / 2.0))
-        return base + jitter
+        if scale > 0:
+            base += float(self.rng.gamma(shape=2.0, scale=scale / 2.0))
+        for link in (a.link, b.link):
+            if link.extra_jitter_s > 0:
+                base += float(
+                    self.rng.gamma(shape=2.0, scale=link.extra_jitter_s / 2.0)
+                )
+        return base
 
     def nominal_rtt(self, a: Host, b: Host) -> float:
         """Jitter-free round-trip time between two hosts."""

@@ -16,6 +16,60 @@ from typing import Any, Callable, List, Optional, Tuple
 from ..errors import SimulationError
 
 
+class PeriodicTask:
+    """Handle for a repeating event scheduled by ``schedule_periodic``.
+
+    Fires ``callback(*args)`` at absolute multiples of the period from
+    the task's start time -- ``start + k * period`` -- so arbitrarily
+    long trains never drift off their clock the way accumulated
+    relative delays would.  The train stops when :meth:`cancel` is
+    called or when the callback returns ``False``.
+    """
+
+    __slots__ = ("_simulator", "period", "rate", "callback", "args",
+                 "start", "index", "index_step", "cancelled")
+
+    def __init__(self, simulator: "Simulator", period: Optional[float],
+                 callback: Callable[..., Any], args: tuple,
+                 start: float, rate: Optional[float] = None,
+                 index_step: int = 1) -> None:
+        self._simulator = simulator
+        self.period = period
+        self.rate = rate
+        self.callback = callback
+        self.args = args
+        self.start = start
+        self.index = 0
+        self.index_step = index_step
+        self.cancelled = False
+
+    @property
+    def next_time(self) -> float:
+        """Absolute time of the next scheduled firing.
+
+        Rate-defined trains tick at ``start + k / rate`` -- the exact
+        grid a frame-clock analysis divides by -- rather than
+        ``k * (1/rate)``, whose reciprocal rounding walks off that grid
+        by an ulp for some ``k``.
+        """
+        if self.rate is not None:
+            return self.start + self.index / self.rate
+        return self.start + self.index * self.period
+
+    def cancel(self) -> None:
+        """Stop the train; an already-queued firing becomes a no-op."""
+        self.cancelled = True
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        if self.callback(*self.args) is False:
+            self.cancelled = True
+            return
+        self.index += self.index_step
+        self._simulator.schedule_at(self.next_time, self._fire)
+
+
 class Simulator:
     """Deterministic discrete-event scheduler.
 
@@ -67,6 +121,56 @@ class Simulator:
                 f"cannot schedule at {when} before current time {self._now}"
             )
         heapq.heappush(self._queue, (when, next(self._sequence), callback, args))
+
+    def schedule_periodic(
+        self,
+        period: Optional[float],
+        callback: Callable[..., Any],
+        *args: Any,
+        first_delay: float = 0.0,
+        rate: Optional[float] = None,
+        index_step: int = 1,
+    ) -> PeriodicTask:
+        """Run ``callback(*args)`` every ``period`` seconds, drift-free.
+
+        Firings land at absolute multiples of the period from the
+        start (``now + first_delay``), not at accumulated relative
+        offsets.  Pass ``rate`` (ticks per second) instead of a period
+        for frame-clock trains: ticks then sit at ``start + k / rate``
+        exactly, the grid per-frame analyses divide by.  With the
+        default ``first_delay`` of 0 the first tick runs
+        *synchronously* -- matching a loop whose begin handler invokes
+        its tick directly.  The callback ends the train by returning
+        ``False``; the returned handle can also
+        :meth:`~PeriodicTask.cancel` it externally.
+
+        ``index_step`` fires every N-th point of the period grid --
+        ``start + (k * index_step) * period`` -- for callbacks that
+        batch several grid units per tick (the audio sender encodes
+        five 20 ms frames per scheduling tick) while keeping their
+        timestamps on the finer grid's exact floats.
+        """
+        if (period is None) == (rate is None):
+            raise SimulationError("pass exactly one of period or rate")
+        if period is not None and period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        if rate is not None and rate <= 0:
+            raise SimulationError(f"rate must be positive, got {rate}")
+        if first_delay < 0:
+            raise SimulationError(
+                f"cannot schedule in the past (first_delay={first_delay})"
+            )
+        if index_step < 1:
+            raise SimulationError(f"index_step must be >= 1, got {index_step}")
+        task = PeriodicTask(
+            self, period, callback, args, self._now + first_delay,
+            rate=rate, index_step=index_step,
+        )
+        if first_delay == 0:
+            task._fire()
+        else:
+            self.schedule_at(task.start, task._fire)
+        return task
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
         """Run events in time order.

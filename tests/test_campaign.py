@@ -98,7 +98,8 @@ class TestSpecExpansion:
     def test_paper_campaign_covers_all_kinds(self):
         spec = paper_campaign(scale=SMOKE_SCALE)
         kinds = {c.kind for c in spec.expand()}
-        assert kinds == {"lag", "qoe", "bandwidth", "mobile", "endpoints"}
+        assert kinds == {"lag", "qoe", "bandwidth", "mobile", "endpoints",
+                         "dynamics"}
         # 3 platforms x 4 hosts of lag alone
         assert spec.cell_count() > 12
 
@@ -250,12 +251,70 @@ class TestRunner:
         assert first["metrics"] == second["metrics"]
 
 
+class TestTimelineAxes:
+    """Condition timelines as first-class, serializable grid axes."""
+
+    def spec_with_timeline(self, master_seed=7):
+        from repro.net.dynamics import bandwidth_ramp_timeline
+
+        timeline = bandwidth_ramp_timeline((None, 250e3, None), step_s=2.0)
+        return CampaignSpec(
+            name="dyn",
+            scenarios=(
+                ScenarioSpec("dynamics", {
+                    "platform": ("zoom",),
+                    "scenario": ("custom-ramp",),
+                    "timeline": (timeline,),
+                }),
+            ),
+            scale=SMOKE_SCALE,
+            master_seed=master_seed,
+        )
+
+    def test_timeline_axis_is_json_and_hash_stable(self):
+        spec = self.spec_with_timeline()
+        clone = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.spec_hash() == spec.spec_hash()
+        assert [c.cell_id for c in clone.expand()] == [
+            c.cell_id for c in spec.expand()
+        ]
+
+    def test_cell_params_carry_tagged_timeline(self):
+        from repro.net.dynamics import ConditionTimeline, TIMELINE_TAG
+
+        cell = self.spec_with_timeline().expand()[0]
+        value = cell.params["timeline"]
+        assert TIMELINE_TAG in value
+        timeline = ConditionTimeline.coerce(value)
+        assert timeline.phase_names() == [
+            "p0-uncapped", "p1-250kbps", "p2-uncapped"
+        ]
+
+    def test_dynamics_cell_executes_from_serialized_timeline(self, tmp_path):
+        spec = self.spec_with_timeline()
+        summary = run_campaign(spec, str(tmp_path / "dyn.jsonl"), workers=1)
+        assert summary.executed == 1 and summary.failed == 0
+        metrics = summary.records[0].metrics
+        assert set(metrics["phases"]) == {
+            "p0-uncapped", "p1-250kbps", "p2-uncapped"
+        }
+        capped = metrics["phases"]["p1-250kbps"]
+        free = metrics["phases"]["p0-uncapped"]
+        assert capped["download_mbps"] < free["download_mbps"]
+
+
 class TestRegistry:
     def test_defaults_fill_unswept_axes(self):
         adapter = get_adapter("qoe")
         bound = adapter.bind({"platform": "meet"})
         assert bound["motion"] == "high"
         assert bound["participants"] == 3
+
+    def test_dynamics_defaults(self):
+        adapter = get_adapter("dynamics")
+        bound = adapter.bind({"platform": "meet"})
+        assert bound["scenario"] == "ramp"
+        assert bound["timeline"] is None
 
     def test_unknown_param_rejected(self):
         with pytest.raises(CampaignError):
@@ -331,11 +390,11 @@ class TestCampaignCli:
                  "--workers", "1"]
         assert main(smoke) == 0
         out = capsys.readouterr().out
-        assert "4 executed" in out
+        assert "5 executed" in out
 
         assert main(smoke + ["--resume"]) == 0
         out = capsys.readouterr().out
-        assert "4 resumed, 0 executed" in out
+        assert "5 resumed, 0 executed" in out
 
         assert main(["campaign", "status", "--store", store]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,453 @@
+"""The network dynamics engine: timelines, rebasing, periodic trains."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SessionError, SimulationError
+from repro.net.dynamics import (
+    ConditionTimeline,
+    LinkConditions,
+    arm_timeline,
+    bandwidth_ramp_timeline,
+    constant_timeline,
+    cross_traffic_timeline,
+    handover_timeline,
+    impulse,
+    phase,
+)
+from repro.net.link import AccessLink, default_cap_burst
+from repro.net.shaper import ShaperStats, TokenBucketShaper
+from repro.net.simulator import Simulator
+from repro.units import kbps, mbps
+
+
+class TestLinkConditions:
+    def test_neutral_default(self):
+        assert LinkConditions().is_neutral
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            LinkConditions(ingress_cap_bps=0)
+        with pytest.raises(ConfigurationError):
+            LinkConditions(loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            LinkConditions(extra_latency_s=-0.1)
+
+    def test_burst_defaults_by_rate(self):
+        assert LinkConditions(ingress_cap_bps=kbps(250)).burst_bytes() == 8_000
+        assert LinkConditions(ingress_cap_bps=mbps(1)).burst_bytes() == 16_000
+        assert LinkConditions().burst_bytes() is None
+        assert default_cap_burst(None) == 16_000
+
+    def test_overlay_overrides_and_stacks(self):
+        base = LinkConditions(ingress_cap_bps=mbps(5), extra_latency_s=0.01)
+        burst = LinkConditions(loss_rate=0.5, extra_latency_s=0.02)
+        merged = base.overlaid(burst)
+        assert merged.ingress_cap_bps == mbps(5)
+        assert merged.extra_latency_s == pytest.approx(0.03)
+        assert merged.loss_rate == pytest.approx(0.5)
+
+    def test_overlay_loss_combines_independently(self):
+        a = LinkConditions(loss_rate=0.5)
+        b = LinkConditions(loss_rate=0.5)
+        assert a.overlaid(b).loss_rate == pytest.approx(0.75)
+
+    def test_round_trip(self):
+        cond = LinkConditions(
+            ingress_cap_bps=mbps(2), extra_latency_s=0.04, loss_rate=0.01
+        )
+        assert LinkConditions.from_dict(cond.to_dict()) == cond
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            LinkConditions.from_dict({"bandwidth": 1})
+
+
+class TestTimelineConstruction:
+    def test_needs_phases(self):
+        with pytest.raises(ConfigurationError):
+            ConditionTimeline(phases=())
+
+    def test_phase_names_unique(self):
+        with pytest.raises(ConfigurationError):
+            ConditionTimeline(phases=(phase("a", 1.0), phase("a", 1.0)))
+
+    def test_impulse_within_plan(self):
+        with pytest.raises(ConfigurationError):
+            ConditionTimeline(
+                phases=(phase("a", 1.0),),
+                impulses=(impulse("late", 2.0, 0.1, loss_rate=0.5),),
+            )
+
+    def test_total_duration(self):
+        timeline = ConditionTimeline(phases=(phase("a", 1.5), phase("b", 2.5)))
+        assert timeline.total_duration_s == pytest.approx(4.0)
+        assert timeline.phase_names() == ["a", "b"]
+
+
+class TestTimelineCompile:
+    def test_plain_phases(self):
+        timeline = ConditionTimeline(
+            phases=(phase("a", 2.0, ingress_cap_bps=mbps(1)), phase("b", 3.0))
+        )
+        windows = timeline.compile(10.0)
+        assert [(w.name, w.start_s, w.end_s) for w in windows] == [
+            ("a", 10.0, 12.0), ("b", 12.0, 15.0)
+        ]
+        assert windows[0].conditions.ingress_cap_bps == mbps(1)
+
+    def test_impulse_splits_host_phase(self):
+        timeline = handover_timeline(
+            before_s=5.0, after_s=5.0, outage_s=0.5, outage_loss=0.9
+        )
+        windows = timeline.compile(0.0)
+        assert [w.name for w in windows] == ["wifi", "lte+handover", "lte"]
+        outage = windows[1]
+        assert (outage.start_s, outage.end_s) == (5.0, 5.5)
+        # The outage stacks loss on the LTE regime, keeping its cap.
+        assert outage.conditions.loss_rate > 0.89
+        assert outage.conditions.ingress_cap_bps == windows[2].conditions.ingress_cap_bps
+
+    def test_cross_traffic_impulse_splits_idle(self):
+        timeline = cross_traffic_timeline(
+            duration_s=10.0, onset_s=4.0, contention_s=2.0,
+            contended_cap_bps=kbps(500),
+        )
+        windows = timeline.compile(0.0)
+        assert [w.name for w in windows] == [
+            "idle", "idle+cross-traffic", "idle"
+        ]
+        assert windows[1].conditions.ingress_cap_bps == kbps(500)
+        assert windows[0].conditions.ingress_cap_bps is None
+
+    def test_window_clipping(self):
+        window = constant_timeline(10.0).compile(0.0)[0]
+        clipped = window.clipped(2.0, 6.0)
+        assert (clipped.start_s, clipped.end_s) == (2.0, 6.0)
+        assert window.clipped(10.0, 20.0) is None
+
+
+class TestTimelineSerialization:
+    def test_round_trip(self):
+        timeline = handover_timeline(
+            before_s=4.0, after_s=6.0, start_offset_s=-1.0
+        )
+        rebuilt = ConditionTimeline.from_dict(timeline.to_dict())
+        assert rebuilt == timeline
+
+    def test_axis_value_coercion(self):
+        timeline = bandwidth_ramp_timeline((None, mbps(1)), step_s=2.0)
+        assert ConditionTimeline.coerce(timeline.as_axis_value()) == timeline
+        assert ConditionTimeline.coerce(timeline) is timeline
+        assert ConditionTimeline.coerce(None) is None
+        with pytest.raises(ConfigurationError):
+            ConditionTimeline.coerce(42)
+
+
+class TestShaperRebasing:
+    def test_rate_change_preserves_queued_bits(self):
+        shaper = TokenBucketShaper(rate_bps=kbps(100), burst_bytes=1000)
+        for _ in range(5):
+            shaper.submit(0.0, 1000)
+        queued = shaper.queued_bits(0.0)
+        assert queued > 0
+        shaper.set_rate(0.0, kbps(200))
+        assert shaper.queued_bits(0.0) == pytest.approx(queued)
+
+    def test_rate_raise_drains_faster(self):
+        slow = TokenBucketShaper(
+            rate_bps=kbps(100), burst_bytes=1000, max_queue_delay_s=10.0
+        )
+        fast = TokenBucketShaper(
+            rate_bps=kbps(100), burst_bytes=1000, max_queue_delay_s=10.0
+        )
+        for shaper in (slow, fast):
+            for _ in range(5):
+                shaper.submit(0.0, 1000)
+        fast.set_rate(0.0, mbps(1))
+        assert fast.submit(0.0, 500) < slow.submit(0.0, 500)
+
+    def test_idle_shaper_rebases_to_idle(self):
+        shaper = TokenBucketShaper(rate_bps=kbps(100), burst_bytes=4000)
+        shaper.set_rate(100.0, kbps(50))
+        # Still passes a burst immediately: no phantom backlog appeared.
+        assert shaper.submit(100.0, 2000) == pytest.approx(100.0)
+
+    def test_rejects_bad_rate(self):
+        shaper = TokenBucketShaper(rate_bps=kbps(100))
+        with pytest.raises(ConfigurationError):
+            shaper.set_rate(0.0, 0.0)
+
+    def test_phase_counters_roll(self):
+        shaper = TokenBucketShaper(
+            rate_bps=kbps(100), burst_bytes=1000, max_queue_delay_s=0.0
+        )
+        for _ in range(10):
+            shaper.submit(0.0, 1000)
+        first_accepted = shaper.stats.accepted
+        first_dropped = shaper.stats.dropped
+        assert first_dropped > 0
+        shaper.start_phase("capped")
+        assert shaper.stats.accepted == 0
+        shaper.submit(100.0, 500)
+        by_phase = shaper.stats_by_phase()
+        assert by_phase["all"].dropped == first_dropped
+        assert by_phase["capped"].accepted == 1
+        total = shaper.total_stats()
+        assert total.accepted == first_accepted + 1
+        assert total.dropped == first_dropped
+
+    def test_stats_merged(self):
+        merged = ShaperStats.merged(
+            [ShaperStats(accepted=2, dropped=1), ShaperStats(accepted=3)]
+        )
+        assert (merged.accepted, merged.dropped) == (5, 1)
+
+
+class TestLinkRebasing:
+    def test_backlog_seconds_rescale_on_rate_drop(self):
+        link = AccessLink(uplink_bps=mbps(1), downlink_bps=mbps(1))
+        link.reserve_uplink(0.0, 12_500)  # 0.1 s of backlog at 1 Mbps
+        link.set_rates(0.0, uplink_bps=kbps(500))
+        assert link.uplink_backlog(0.0) == pytest.approx(0.2)
+
+    def test_idle_direction_unaffected(self):
+        link = AccessLink(uplink_bps=mbps(1), downlink_bps=mbps(1))
+        link.set_rates(5.0, downlink_bps=mbps(2))
+        assert link.downlink_backlog(5.0) == 0.0
+        delivery = link.reserve_downlink(5.0, 2500)
+        assert delivery == pytest.approx(5.0 + 0.01)
+
+    def test_rejects_nonpositive(self):
+        link = AccessLink()
+        with pytest.raises(ConfigurationError):
+            link.set_rates(0.0, uplink_bps=0.0)
+
+    def test_retired_shaper_stats_accumulate(self):
+        link = AccessLink()
+        link.set_ingress_cap(kbps(100), burst_bytes=1000)
+        link.ingress_shaper.max_queue_delay_s = 0.0
+        for _ in range(10):
+            link.ingress_shaper.submit(0.0, 1000)
+        dropped = link.ingress_shaper.stats.dropped
+        assert dropped > 0
+        link.set_ingress_cap(mbps(1))  # cap change used to lose these
+        assert link.shaper_stats_total().dropped == dropped
+        link.set_ingress_cap(None)
+        assert link.shaper_stats_total().dropped == dropped
+
+    def test_apply_conditions_rerates_in_place(self):
+        link = AccessLink()
+        link.apply_conditions(
+            0.0, LinkConditions(ingress_cap_bps=kbps(100)), phase="tight"
+        )
+        shaper = link.ingress_shaper
+        assert shaper.phase_name == "tight"
+        shaper.submit(0.0, 1000)
+        link.apply_conditions(
+            1.0, LinkConditions(ingress_cap_bps=mbps(1)), phase="loose"
+        )
+        # Same shaper object, re-rated and relabelled: the queue and
+        # the per-phase counters survive the transition.
+        assert link.ingress_shaper is shaper
+        assert shaper.rate_bps == mbps(1)
+        assert shaper.stats_by_phase()["tight"].accepted == 1
+
+    def test_clear_conditions_restores_base(self):
+        link = AccessLink(uplink_bps=mbps(10), downlink_bps=mbps(10))
+        link.apply_conditions(0.0, LinkConditions(
+            downlink_bps=mbps(1), ingress_cap_bps=kbps(250),
+            extra_latency_s=0.05, loss_rate=0.1,
+        ))
+        link.clear_conditions(1.0)
+        assert link.downlink_bps == mbps(10)
+        assert link.ingress_shaper is None
+        assert link.extra_latency_s == 0.0
+        assert link.loss_rate == 0.0
+
+
+class TestArmTimeline:
+    def test_boundaries_mutate_link(self):
+        simulator = Simulator()
+        link = AccessLink()
+        timeline = bandwidth_ramp_timeline((None, mbps(1)), step_s=1.0)
+        windows = arm_timeline(simulator, link, timeline, media_start_s=2.0)
+        assert [w.start_s for w in windows] == [2.0, 3.0]
+        simulator.run(until=2.5)
+        assert link.ingress_shaper is None
+        simulator.run(until=3.5)
+        assert link.ingress_shaper.rate_bps == mbps(1)
+        simulator.run(until=4.5)  # plan over: base restored
+        assert link.ingress_shaper is None
+
+    def test_negative_offset_before_now_rejected(self):
+        simulator = Simulator()
+        simulator.schedule(5.0, lambda: None)
+        simulator.run()
+        with pytest.raises(ConfigurationError):
+            arm_timeline(
+                simulator, AccessLink(),
+                constant_timeline(1.0, start_offset_s=-10.0),
+                media_start_s=6.0,
+            )
+
+    def test_arm_start_tolerates_ulp_rounding(self):
+        from repro.net.dynamics import resolve_arm_start
+
+        # (now + settle) - settle can round one ulp below now for
+        # non-dyadic session start times; arming must clamp, not crash.
+        now = 0.244
+        assert (now + 2.0) - 2.0 < now
+        timeline = constant_timeline(5.0, start_offset_s=-2.0)
+        assert resolve_arm_start(now, now + 2.0, timeline) == now
+        # A genuine shortfall still raises.
+        with pytest.raises(ConfigurationError):
+            resolve_arm_start(now + 1.0, now, constant_timeline(1.0))
+
+
+class TestSchedulePeriodic:
+    def test_absolute_multiples(self):
+        simulator = Simulator()
+        times = []
+        simulator.schedule_periodic(0.5, lambda: times.append(simulator.now))
+        simulator.run(until=2.0)
+        assert times == [0.0, 0.5, 1.0, 1.5, 2.0]
+
+    def test_rate_grid_is_exact(self):
+        simulator = Simulator()
+        times = []
+        simulator.schedule_periodic(
+            None, lambda: times.append(simulator.now), rate=30
+        )
+        simulator.run(until=1.0)
+        assert times == [k / 30 for k in range(31)]
+
+    def test_index_step_keeps_fine_grid(self):
+        simulator = Simulator()
+        times = []
+        simulator.schedule_periodic(
+            0.02, lambda: times.append(simulator.now), index_step=5
+        )
+        simulator.run(until=1.0)
+        assert times == [(k * 5) * 0.02 for k in range(11)]
+
+    def test_false_return_stops(self):
+        simulator = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(simulator.now)
+            return len(ticks) < 3
+
+        simulator.schedule_periodic(1.0, tick)
+        simulator.run()
+        assert len(ticks) == 3
+
+    def test_cancel_stops(self):
+        simulator = Simulator()
+        ticks = []
+        task = simulator.schedule_periodic(1.0, lambda: ticks.append(1))
+        simulator.schedule(2.5, task.cancel)
+        simulator.run(until=10.0)
+        assert len(ticks) == 3
+        assert task.cancelled
+
+    def test_first_delay(self):
+        simulator = Simulator()
+        times = []
+        simulator.schedule_periodic(
+            1.0, lambda: times.append(simulator.now), first_delay=0.25
+        )
+        simulator.run(until=2.5)
+        assert times == [0.25, 1.25, 2.25]
+
+    def test_validation(self):
+        simulator = Simulator()
+        with pytest.raises(SimulationError):
+            simulator.schedule_periodic(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            simulator.schedule_periodic(1.0, lambda: None, rate=10)
+        with pytest.raises(SimulationError):
+            simulator.schedule_periodic(None, lambda: None)
+        with pytest.raises(SimulationError):
+            simulator.schedule_periodic(1.0, lambda: None, index_step=0)
+
+
+class TestSessionConfigValidation:
+    def test_negative_settle_rejected(self):
+        from repro.core.session import SessionConfig
+
+        with pytest.raises(SessionError):
+            SessionConfig(settle_s=-1.0)
+
+    def test_negative_grace_rejected(self):
+        from repro.core.session import SessionConfig
+
+        with pytest.raises(SessionError):
+            SessionConfig(grace_s=-0.5)
+
+    def test_negative_probe_interval_rejected(self):
+        from repro.core.session import SessionConfig
+
+        with pytest.raises(SessionError):
+            SessionConfig(probe_interval_s=-0.1)
+
+    def test_nonpositive_probe_count_rejected(self):
+        from repro.core.session import SessionConfig
+
+        with pytest.raises(SessionError):
+            SessionConfig(probe_count=0)
+
+    def test_timeline_type_checked(self):
+        from repro.core.session import SessionConfig
+
+        with pytest.raises(SessionError):
+            SessionConfig(timelines={"US-East2": {"phases": []}})
+
+    def test_timeline_offset_bounded_by_settle(self):
+        from repro.core.session import SessionConfig
+
+        with pytest.raises(SessionError):
+            SessionConfig(
+                settle_s=2.0,
+                timelines={
+                    "US-East2": constant_timeline(5.0, start_offset_s=-3.0)
+                },
+            )
+
+    def test_timeline_end_tolerates_ulp_rounding(self):
+        # -settle + (settle + duration + grace) can round one ulp above
+        # duration + grace; the full-session plan must stay accepted.
+        from repro.core.session import SessionConfig
+        from repro.experiments.bandwidth_study import static_cap_timeline
+
+        duration = 28.000016
+        probe = SessionConfig(duration_s=duration)
+        timeline = static_cap_timeline(250e3, probe)
+        overshoot = (
+            timeline.start_offset_s + timeline.total_duration_s
+            - (probe.duration_s + probe.grace_s)
+        )
+        assert overshoot > 0  # the rounding this test pins
+        SessionConfig(duration_s=duration,
+                      timelines={"US-East2": timeline})
+
+    def test_timeline_outliving_session_rejected(self):
+        # Boundary events past the session's run window would linger on
+        # the shared simulator and fire during the next session.
+        from repro.core.session import SessionConfig
+
+        with pytest.raises(SessionError):
+            SessionConfig(
+                duration_s=10.0,
+                grace_s=2.0,
+                timelines={"US-East2": constant_timeline(30.0)},
+            )
+        # Exactly filling media + grace is the bandwidth-study shape.
+        SessionConfig(
+            duration_s=10.0,
+            settle_s=2.0,
+            grace_s=2.0,
+            timelines={
+                "US-East2": constant_timeline(14.0, start_offset_s=-2.0)
+            },
+        )
