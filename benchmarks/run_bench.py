@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Run the tracked performance benchmark suite from a checkout.
+
+Thin wrapper over :mod:`repro.bench` (the same engine behind the
+``repro bench`` CLI subcommand), kept here so the benchmark suite is
+discoverable next to the per-figure pytest benchmarks::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --quick -o BENCH_ci.json
+    PYTHONPATH=src python benchmarks/run_bench.py -o BENCH_pr4.json
+    PYTHONPATH=src python benchmarks/run_bench.py --quick --check BENCH_pr4.json
+
+The ``--check`` gate compares hardware-independent metrics (the
+fast-vs-slow packet-path speedup ratio and the events-per-packet
+budget) against a committed baseline and exits non-zero on a >20%
+regression.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

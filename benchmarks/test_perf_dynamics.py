@@ -85,7 +85,15 @@ def test_timeline_event_overhead_under_5_percent(scale):
     _run_session(None, scale)
     static_s = time.perf_counter() - start
     added = dynamic_events - static_events
-    assert 0 < added <= PHASES + 1
+    # The timeline itself contributes one event per phase boundary
+    # plus the final restore.  Since PR 4, packets whose flight window
+    # overlaps a registered boundary also travel the un-fused slow
+    # path (that is what keeps dynamics sessions bit-identical with
+    # the fast lane on), so each in-flight packet at a boundary may
+    # add one more event; bound that by a small per-boundary budget
+    # rather than asserting the boundary events alone.
+    max_crossing_per_boundary = 16
+    assert 0 < added <= (PHASES + 1) * (1 + max_crossing_per_boundary)
     assert added / static_events < MAX_EVENT_OVERHEAD
     # Coarse wall-time guard only: single runs on shared CI hardware
     # are noisy, but the timeline path must never add per-packet cost.

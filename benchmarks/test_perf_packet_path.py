@@ -1,0 +1,55 @@
+"""Packet-path fast lane: fused vs forced-slow throughput guard.
+
+The PR 4 fast lane fuses the propagate->arrive->deliver chain into a
+single delivery event on quiet paths (see :mod:`repro.net.routing`).
+This guard runs the pinned packet-path benchmark both ways on the same
+seed and asserts two things that are stable on any hardware:
+
+* the fused path executes strictly fewer simulator events per packet
+  (an exact, deterministic proxy for the heap work removed), and
+* the fused path is measurably faster in wall-clock than the forced
+  slow path on the same machine, same process, same workload.
+
+Run with ``pytest benchmarks/test_perf_packet_path.py``; the tracked
+absolute numbers live in ``BENCH_pr4.json`` (``repro bench``).
+"""
+
+from __future__ import annotations
+
+from repro.bench import _packet_path_once
+
+#: Workload size: large enough that interpreter warm-up noise washes
+#: out, small enough for CI (<2 s per run).
+PACKETS = 40_000
+
+#: The fused path must beat the forced slow path by at least this
+#: factor in wall-clock.  The measured gap is ~1.3x; 1.05x keeps the
+#: guard meaningful without flaking on shared CI hardware.
+MIN_SPEEDUP = 1.05
+
+
+def test_fused_path_removes_events():
+    fast = _packet_path_once(2_000, fast_lane=True)
+    slow = _packet_path_once(2_000, fast_lane=False)
+    # 2 events/packet fused (send + fused delivery) vs 4 slow
+    # (send + propagate + arrive + deliver); exact, not statistical.
+    assert fast["events"] == 2 * fast["packets"]
+    assert slow["events"] == 4 * slow["packets"]
+    assert fast["fused"] == fast["packets"]
+    assert fast["sender_fused"] == fast["packets"]
+    assert slow["fused"] == 0
+
+
+def test_fused_path_is_faster_than_forced_slow():
+    # Interleave and keep the best of three to shed scheduler noise.
+    fast_wall = min(
+        _packet_path_once(PACKETS, fast_lane=True)["wall_s"] for _ in range(3)
+    )
+    slow_wall = min(
+        _packet_path_once(PACKETS, fast_lane=False)["wall_s"] for _ in range(3)
+    )
+    speedup = slow_wall / fast_wall
+    assert speedup >= MIN_SPEEDUP, (
+        f"fused path only {speedup:.2f}x the forced slow path "
+        f"(fast {fast_wall:.3f}s vs slow {slow_wall:.3f}s)"
+    )

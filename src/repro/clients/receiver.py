@@ -149,10 +149,12 @@ class ReceiverEngine:
     def on_media(self, packet: Packet) -> None:
         """Entry point from the client's port handler."""
         stats = self.flow_stats.setdefault(packet.flow_id, FlowStats())
-        stats.on_packet(
-            int(packet.metadata.get("seq", stats.max_seq + 1)),
-            packet.payload_bytes,
-        )
+        seq = packet.seq
+        if seq is None:
+            # Legacy senders stamped the sequence into metadata; media
+            # packets now carry it in a dedicated slot.
+            seq = int(packet.metadata.get("seq", stats.max_seq + 1))
+        stats.on_packet(seq, packet.payload_bytes)
         if packet.kind is PacketKind.MEDIA_AUDIO:
             self._on_audio(packet)
             return

@@ -81,18 +81,20 @@ class _SenderBase:
     ) -> None:
         seq = self._seq.get(flow_id, 0)
         self._seq[flow_id] = seq + 1
-        metadata = {"seq": seq}
-        if extra_metadata:
-            metadata.update(extra_metadata)
-        packet = Packet(
-            src=self.client.media_address,
-            dst=self.wiring.service_address[self.client.name],
-            payload_bytes=payload_bytes,
-            kind=kind,
-            flow_id=flow_id,
+        # Hot path: every media fragment of every stream goes through
+        # here, so use the validation-free constructor and the packet's
+        # dedicated seq slot (no per-packet metadata dict).
+        packet = Packet.fast(
+            self.client.media_address,
+            self.wiring.service_address[self.client.name],
+            payload_bytes,
+            kind,
+            flow_id,
             payload=payload,
-            metadata=metadata,
+            seq=seq,
         )
+        if extra_metadata:
+            packet.metadata.update(extra_metadata)
         self.packets_sent += 1
         self.bytes_sent += payload_bytes
         if delay > 0:

@@ -154,7 +154,9 @@ class Testbed:
         """
         client = self.clients[client_name]
         client.host.link.set_ingress_cap(
-            rate_bps, burst_bytes=default_cap_burst(rate_bps)
+            rate_bps,
+            burst_bytes=default_cap_burst(rate_bps),
+            now=self.network.simulator.now,
         )
 
     def clear_conditions(self, client_name: str) -> None:

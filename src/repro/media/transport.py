@@ -26,6 +26,9 @@ FrameT = TypeVar("FrameT")
 class ChunkFragment(Generic[FrameT]):
     """One transport fragment of an encoded frame.
 
+    Slotted: one fragment is allocated per MTU of every encoded frame,
+    which at scale is second only to packets themselves.
+
     Attributes:
         frame_index: Index of the frame this fragment belongs to.
         fragment_index: Position of this fragment within the frame.
@@ -36,6 +39,14 @@ class ChunkFragment(Generic[FrameT]):
             the decoder when every fragment has arrived, so carrying
             the reference does not leak undecodable data.
     """
+
+    __slots__ = (
+        "frame_index",
+        "fragment_index",
+        "fragment_count",
+        "payload_bytes",
+        "frame",
+    )
 
     frame_index: int
     fragment_index: int

@@ -8,14 +8,24 @@ every packet the host sends or receives, timestamped with the host's
 error), and offers the query helpers the paper's analyses need:
 endpoint discovery, Layer-7 data rates, and time/size series for the
 lag detector of Figure 2.
+
+Recording sits on the per-packet hot path (every send and every
+delivery records, often into two captures), so the store is columnar
+rather than an object per packet: ``record`` appends one flat tuple to
+the row store -- no :class:`CapturedPacket` is allocated while the
+simulation runs -- and the numeric columns (timestamps, sizes,
+direction and kind codes) are extracted into cached numpy arrays the
+first time a query needs them.  :class:`CapturedPacket` views are
+materialised lazily, only for the records a query actually returns.
 """
 
 from __future__ import annotations
 
-import bisect
 import enum
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from ..errors import CaptureError
 from ..units import rate_from_bytes
@@ -28,6 +38,17 @@ class Direction(str, enum.Enum):
 
     IN = "in"
     OUT = "out"
+
+
+#: Row-tuple field offsets (the storage schema of :class:`Capture`).
+#: Source and destination are stored as :class:`Address` references --
+#: addresses are frozen, so sharing them is safe and saves four
+#: attribute reads per recorded packet.
+_TIMESTAMP, _DIRECTION, _SRC, _DST = range(4)
+_PROTO, _KIND, _WIRE, _PAYLOAD, _FLOW, _PACKET_ID = range(4, 10)
+
+_DIRECTION_CODE = {Direction.OUT: 0, Direction.IN: 1}
+_KIND_CODE = {kind: i for i, kind in enumerate(PacketKind)}
 
 
 @dataclass(frozen=True)
@@ -45,6 +66,21 @@ class CapturedPacket:
         flow_id: Media stream correlation id.
         packet_id: Simulator-unique packet id.
     """
+
+    __slots__ = (
+        "timestamp",
+        "direction",
+        "src_ip",
+        "src_port",
+        "dst_ip",
+        "dst_port",
+        "proto",
+        "kind",
+        "wire_bytes",
+        "payload_bytes",
+        "flow_id",
+        "packet_id",
+    )
 
     timestamp: float
     direction: Direction
@@ -73,20 +109,28 @@ class Capture:
     Captures are created via :meth:`repro.net.node.Host.start_capture`
     and can be stopped to freeze their contents; querying a running
     capture is allowed (the monitor's on-the-fly "active probing"
-    pipeline does exactly that).
+    pipeline does exactly that -- the column cache simply rebuilds when
+    new rows have landed since it was last taken).
     """
 
     def __init__(self, host_name: str) -> None:
         self.host_name = host_name
-        self._records: List[CapturedPacket] = []
+        self._rows: List[tuple] = []
         self._running = True
-        self._timestamps: Optional[List[float]] = None
+        self._cols_len = -1
+        self._timestamps: Optional[np.ndarray] = None
+        self._payloads: Optional[np.ndarray] = None
+        self._direction_codes: Optional[np.ndarray] = None
+        self._kind_codes: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._rows)
 
     def __iter__(self):
-        return iter(self._records)
+        return (self._materialise(row) for row in self._rows)
+
+    def __getitem__(self, index: int) -> CapturedPacket:
+        return self._materialise(self._rows[index])
 
     @property
     def running(self) -> bool:
@@ -101,23 +145,81 @@ class Capture:
         """Append one packet record (called by the owning host)."""
         if not self._running:
             return
-        self._timestamps = None
-        self._records.append(
-            CapturedPacket(
-                timestamp=local_time,
-                direction=direction,
-                src_ip=packet.src.ip,
-                src_port=packet.src.port,
-                dst_ip=packet.dst.ip,
-                dst_port=packet.dst.port,
-                proto=packet.proto,
-                kind=packet.kind,
-                wire_bytes=packet.wire_bytes,
-                payload_bytes=packet.payload_bytes,
-                flow_id=packet.flow_id,
-                packet_id=packet.packet_id,
-            )
+        self._rows.append((
+            local_time,
+            direction,
+            packet.src,
+            packet.dst,
+            packet.proto,
+            packet.kind,
+            packet.wire_bytes,
+            packet.payload_bytes,
+            packet.flow_id,
+            packet.packet_id,
+        ))
+
+    # ----------------------------------------------------------------- #
+    # Columnar access.
+    # ----------------------------------------------------------------- #
+
+    @staticmethod
+    def _materialise(row: tuple) -> CapturedPacket:
+        src = row[_SRC]
+        dst = row[_DST]
+        return CapturedPacket(
+            row[_TIMESTAMP], row[_DIRECTION], src.ip, src.port, dst.ip,
+            dst.port, row[_PROTO], row[_KIND], row[_WIRE], row[_PAYLOAD],
+            row[_FLOW], row[_PACKET_ID],
         )
+
+    def _refresh_columns(self) -> None:
+        rows = self._rows
+        n = len(rows)
+        self._timestamps = np.fromiter(
+            (row[_TIMESTAMP] for row in rows), dtype=np.float64, count=n
+        )
+        self._payloads = np.fromiter(
+            (row[_PAYLOAD] for row in rows), dtype=np.int64, count=n
+        )
+        direction_code = _DIRECTION_CODE
+        self._direction_codes = np.fromiter(
+            (direction_code[row[_DIRECTION]] for row in rows),
+            dtype=np.uint8, count=n,
+        )
+        kind_code = _KIND_CODE
+        self._kind_codes = np.fromiter(
+            (kind_code[row[_KIND]] for row in rows), dtype=np.uint8, count=n
+        )
+        self._cols_len = n
+
+    def _columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(timestamps, payloads, direction codes, kind codes) arrays."""
+        if self._cols_len != len(self._rows):
+            self._refresh_columns()
+        return (
+            self._timestamps,
+            self._payloads,
+            self._direction_codes,
+            self._kind_codes,
+        )
+
+    def _select(
+        self,
+        direction: Optional[Direction],
+        kinds: Optional[Iterable[PacketKind]],
+    ) -> np.ndarray:
+        """Boolean mask of rows matching a direction/kind filter."""
+        _, _, dir_codes, kind_codes = self._columns()
+        mask = np.ones(len(self._rows), dtype=bool)
+        if direction is not None:
+            mask &= dir_codes == _DIRECTION_CODE[direction]
+        if kinds is not None:
+            wanted = [_KIND_CODE[k] for k in kinds]
+            if len(wanted) == 1:
+                mask &= kind_codes == wanted[0]
+            else:
+                mask &= np.isin(kind_codes, wanted)
+        return mask
 
     # ----------------------------------------------------------------- #
     # Query helpers (the "offline analysis" toolbox).
@@ -137,14 +239,16 @@ class Capture:
             raise CaptureError("pass either kind or kinds, not both")
         kind_set = {kind} if kind is not None else set(kinds) if kinds else None
         result = []
-        for record in self._records:
-            if direction is not None and record.direction is not direction:
+        materialise = self._materialise
+        for row in self._rows:
+            if direction is not None and row[_DIRECTION] is not direction:
                 continue
-            if kind_set is not None and record.kind not in kind_set:
+            if kind_set is not None and row[_KIND] not in kind_set:
                 continue
+            if flow_id is not None and row[_FLOW] != flow_id:
+                continue
+            record = materialise(row)
             if remote_port is not None and record.remote_endpoint.port != remote_port:
-                continue
-            if flow_id is not None and record.flow_id != flow_id:
                 continue
             if predicate is not None and not predicate(record):
                 continue
@@ -157,16 +261,19 @@ class Capture:
         kind: Optional[PacketKind] = None,
     ) -> List[Tuple[float, int]]:
         """(timestamp, payload_bytes) pairs, the raw data of Figure 2."""
-        return [
-            (r.timestamp, r.payload_bytes)
-            for r in self.filter(direction=direction, kind=kind)
-        ]
+        mask = self._select(direction, None if kind is None else (kind,))
+        timestamps, payloads, _, _ = self._columns()
+        return list(zip(
+            timestamps[mask].tolist(), payloads[mask].tolist()
+        ))
 
     def total_payload_bytes(
         self, direction: Direction, kind: Optional[PacketKind] = None
     ) -> int:
         """Sum of L7 payload bytes in one direction."""
-        return sum(r.payload_bytes for r in self.filter(direction=direction, kind=kind))
+        mask = self._select(direction, None if kind is None else (kind,))
+        _, payloads, _, _ = self._columns()
+        return int(payloads[mask].sum())
 
     def payload_bytes_between(
         self,
@@ -181,21 +288,27 @@ class Capture:
         a phase boundary belongs to the phase it *enters*, so summing
         over consecutive windows never double-counts.  Records are
         appended in timestamp order (event order through a monotonic
-        affine clock), so the window is located by bisection over a
-        cached timestamp index -- many-phase timelines (trace replay)
-        stay cheap even over large captures.
+        affine clock), so the window reduces to one ``searchsorted``
+        slice over the timestamp column -- many-phase timelines (trace
+        replay) stay cheap even over large captures.
         """
-        if self._timestamps is None:
-            self._timestamps = [r.timestamp for r in self._records]
-        lo = bisect.bisect_left(self._timestamps, start)
-        hi = bisect.bisect_left(self._timestamps, end, lo)
-        kind_set = set(kinds) if kinds is not None else None
-        return sum(
-            r.payload_bytes
-            for r in self._records[lo:hi]
-            if r.direction is direction
-            and (kind_set is None or r.kind in kind_set)
-        )
+        timestamps, payloads, dir_codes, kind_codes = self._columns()
+        lo = int(np.searchsorted(timestamps, start, side="left"))
+        hi = int(np.searchsorted(timestamps, end, side="left"))
+        if hi <= lo:
+            return 0
+        # Filter on the window slice only: many-phase timelines issue
+        # one query per phase, and full-capture masks would make that
+        # O(phases x capture) instead of O(phases x window).
+        mask = dir_codes[lo:hi] == _DIRECTION_CODE[direction]
+        if kinds is not None:
+            wanted = [_KIND_CODE[k] for k in kinds]
+            window_kinds = kind_codes[lo:hi]
+            if len(wanted) == 1:
+                mask &= window_kinds == wanted[0]
+            else:
+                mask &= np.isin(window_kinds, wanted)
+        return int(payloads[lo:hi][mask].sum())
 
     def payload_rate_bps(
         self,
@@ -212,21 +325,23 @@ class Capture:
 
         Raises :class:`~repro.errors.CaptureError` if no packets match.
         """
-        records = self.filter(direction=direction, kind=kind)
+        mask = self._select(direction, None if kind is None else (kind,))
+        timestamps, payloads, _, _ = self._columns()
         if start is not None or end is not None:
             lo = start if start is not None else float("-inf")
             hi = end if end is not None else float("inf")
-            records = [r for r in records if lo <= r.timestamp <= hi]
-        if not records:
+            mask = mask & (timestamps >= lo) & (timestamps <= hi)
+        selected = timestamps[mask]
+        if selected.size == 0:
             raise CaptureError("no packets in window; cannot compute a rate")
         if start is None:
-            start = records[0].timestamp
+            start = float(selected[0])
         if end is None:
-            end = records[-1].timestamp
+            end = float(selected[-1])
         duration = end - start
         if duration <= 0:
             raise CaptureError("rate window must have positive duration")
-        total = sum(r.payload_bytes for r in records)
+        total = int(payloads[mask].sum())
         return rate_from_bytes(total, duration)
 
     def remote_endpoints(
@@ -243,12 +358,13 @@ class Capture:
         """
         media_kinds = {PacketKind.MEDIA_VIDEO, PacketKind.MEDIA_AUDIO}
         found: Set[EndpointKey] = set()
-        for record in self._records:
-            if direction is not None and record.direction is not direction:
+        for row in self._rows:
+            if direction is not None and row[_DIRECTION] is not direction:
                 continue
-            if media_only and record.kind not in media_kinds:
+            if media_only and row[_KIND] not in media_kinds:
                 continue
-            endpoint = record.remote_endpoint
+            remote = row[_DST] if row[_DIRECTION] is Direction.OUT else row[_SRC]
+            endpoint = EndpointKey(remote.ip, remote.port, row[_PROTO].value)
             if port is not None and endpoint.port != port:
                 continue
             found.add(endpoint)
@@ -259,6 +375,6 @@ class Capture:
 
         Raises :class:`~repro.errors.CaptureError` on an empty capture.
         """
-        if not self._records:
+        if not self._rows:
             raise CaptureError("capture is empty")
-        return self._records[0].timestamp, self._records[-1].timestamp
+        return self._rows[0][_TIMESTAMP], self._rows[-1][_TIMESTAMP]

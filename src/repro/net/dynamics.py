@@ -593,6 +593,13 @@ def arm_timeline(
     """
     start = resolve_arm_start(simulator.now, media_start_s, timeline)
     windows = timeline.compile(start)
+    # Announce every boundary to the link before any of them fire: the
+    # packet-path fast lane refuses to fuse packets whose flight window
+    # overlaps a registered change, which is what keeps dynamics
+    # sessions bit-identical with the fast lane on or off.
+    link.register_scheduled_changes(
+        [window.start_s for window in windows] + [windows[-1].end_s]
+    )
     for window in windows:
         simulator.schedule_at(
             window.start_s,

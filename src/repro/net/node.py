@@ -59,6 +59,11 @@ class Host:
         self._handlers: Dict[int, PacketHandler] = {}
         self._captures: List[Capture] = []
         self._ephemeral = EphemeralPortAllocator()
+        #: Per-destination fast-lane plans, owned by the network's
+        #: packet path (:meth:`repro.net.routing.Network._fast_plan`).
+        #: Keyed by destination ip so the per-packet lookup needs no
+        #: tuple allocation.
+        self.fast_plans: Dict[str, list] = {}
         self.packets_sent = 0
         self.packets_received = 0
         self.packets_unhandled = 0
@@ -124,15 +129,23 @@ class Host:
             raise SimulationError(
                 f"{self.name} cannot send packet with src {packet.src.ip}"
             )
-        packet.sent_at = self._network.simulator.now
+        network = self._network
+        now = network.simulator.now
+        packet.sent_at = now
         self.packets_sent += 1
-        self._record(packet, Direction.OUT)
-        self._network.transmit(packet)
+        if self._captures:
+            local = self.clock.local_time(now)
+            for capture in self._captures:
+                capture.record(packet, Direction.OUT, local)
+        network.transmit(packet)
 
     def deliver(self, packet: Packet) -> None:
         """Called by the fabric when a packet arrives for this host."""
         self.packets_received += 1
-        self._record(packet, Direction.IN)
+        if self._captures:
+            local = self.clock.local_time(self._network.simulator.now)
+            for capture in self._captures:
+                capture.record(packet, Direction.IN, local)
         handler = self._handlers.get(packet.dst.port)
         if handler is None:
             self.packets_unhandled += 1
@@ -154,9 +167,3 @@ class Host:
         for capture in self._captures:
             capture.stop()
 
-    def _record(self, packet: Packet, direction: Direction) -> None:
-        if not self._captures:
-            return
-        local = self.local_time()
-        for capture in self._captures:
-            capture.record(packet, direction, local)

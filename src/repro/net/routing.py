@@ -16,11 +16,43 @@ walks the same pipeline a real packet would:
 
 All randomness flows through one seeded generator, so experiments are
 reproducible end to end (design goal D3).
+
+**The fast lane.**  The slow pipeline costs three heap events per
+packet (``_propagate`` at departure, ``_arrive`` at arrival,
+``deliver`` at delivery).  Each event exists to pin *stateful* work to
+its correct simulation time and global order: rng draws (loss, jitter)
+must happen in event order because the generator is shared, and the
+destination downlink's virtual clock must be advanced in arrival order
+because reservations do not commute.  Whenever a stage provably does
+nothing stateful, the fast lane removes its event while reproducing
+the remaining work bit-identically:
+
+* If the sender-side stage draws nothing (no base loss, no scripted
+  egress loss, zero jitter scale) the ``_propagate`` event is skipped:
+  the hop delay is deterministic, so the next stage is scheduled
+  directly from ``transmit``.
+* If the receiver-side stage draws nothing and has no shaper, the
+  ``_arrive`` event is fused into the delivery event: the downlink
+  reservation is pushed onto the link's pending-arrival buffer (which
+  flushes in arrival order with arithmetic identical to an eager
+  reservation -- see :meth:`AccessLink.flush_pending_downlink`) and a
+  single fused delivery event is scheduled at the no-backlog delivery
+  estimate.  If the flush reveals queueing, the event re-arms itself
+  at the true reservation time.
+
+Both fusions are guarded by the links' scheduled-change registries
+(:meth:`AccessLink.quiet_through`): a packet whose flight window
+overlaps any registered timeline boundary travels the exact slow path,
+so conditions are always read (and rng always drawn) at the times and
+in the order the slow path would have used.  ``fast_lane_epoch_misses``
+counts packets whose destination link was mutated *without*
+registration while they were fused in flight -- zero in any scripted
+scenario, and the equivalence tests assert it stays zero.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +65,10 @@ from .node import Host
 from .packet import Packet
 from .simulator import Simulator
 
+#: Process-wide default for new networks; the bit-identity tests (and
+#: anyone debugging a suspected fast-lane divergence) flip this off.
+FAST_LANE_DEFAULT = True
+
 
 class Network:
     """A geographic packet network with attached hosts.
@@ -44,6 +80,9 @@ class Network:
             the packet (independent of shaper drops).  Default 0: the
             paper's cloud paths are effectively loss-free at the rates
             measured; residential experiments may raise it.
+        fast_lane: Whether the fused packet path may engage (results
+            are bit-identical either way; disabling it exists for the
+            equivalence tests and for debugging).
     """
 
     def __init__(
@@ -52,6 +91,7 @@ class Network:
         latency_model: Optional[LatencyModel] = None,
         rng: Optional[np.random.Generator] = None,
         base_loss_rate: float = 0.0,
+        fast_lane: Optional[bool] = None,
     ) -> None:
         if not 0.0 <= base_loss_rate < 1.0:
             raise ConfigurationError(f"loss rate out of range: {base_loss_rate}")
@@ -61,12 +101,18 @@ class Network:
         )
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.base_loss_rate = base_loss_rate
+        self.fast_lane = FAST_LANE_DEFAULT if fast_lane is None else fast_lane
         self._hosts_by_ip: Dict[str, Host] = {}
         self._hosts_by_name: Dict[str, Host] = {}
         self._ip_allocator = IpAllocator()
+        self._path_cache: Dict[Tuple[str, str], Tuple[float, float]] = {}
         self.packets_lost = 0
         self.packets_shaper_dropped = 0
         self.packets_condition_lost = 0
+        self.fast_lane_fused = 0
+        self.fast_lane_sender_fused = 0
+        self.fast_lane_rearmed = 0
+        self.fast_lane_epoch_misses = 0
 
     # ----------------------------------------------------------------- #
     # Topology.
@@ -98,6 +144,7 @@ class Network:
         )
         self._hosts_by_ip[ip] = host
         self._hosts_by_name[name] = host
+        self._path_cache.clear()
         return host
 
     def host_by_ip(self, ip: str) -> Host:
@@ -119,31 +166,221 @@ class Network:
         return list(self._hosts_by_name.values())
 
     # ----------------------------------------------------------------- #
+    # Path properties.
+    # ----------------------------------------------------------------- #
+
+    def _path_params(self, a: Host, b: Host) -> Tuple[float, float]:
+        """Cached (base one-way delay, jitter scale) for a host pair.
+
+        Locations and the latency model are fixed after attachment, so
+        both values are pure functions of the pair; caching them takes
+        a haversine + exp off every packet.  The cached floats are the
+        model's own outputs, so downstream arithmetic is unchanged.
+        """
+        key = (a.ip, b.ip)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            base = self.latency_model.one_way_delay_s(a.location, b.location)
+            scale = self.latency_model.jitter_scale_s(a.location, b.location)
+            cached = (base, scale)
+            self._path_cache[key] = cached
+        return cached
+
+    def one_way_delay(
+        self, a: Host, b: Host, sample_jitter: bool = False
+    ) -> float:
+        """One-way wide-area delay between two hosts.
+
+        With ``sample_jitter`` a random per-packet jitter component is
+        added, drawn from a gamma distribution (always positive, long
+        tail) scaled by the latency model's jitter fraction.
+
+        Scripted access conditions contribute too: each endpoint's
+        link-level latency adder extends the path, and link-level
+        jitter scales draw extra gamma components (both are exact
+        no-ops -- no rng consumed -- while the adders are zero, which
+        is what keeps static sessions bit-identical).
+        """
+        base, scale = self._path_params(a, b)
+        base += a.link.extra_latency_s + b.link.extra_latency_s
+        if not sample_jitter:
+            return base
+        if scale > 0:
+            base += float(self.rng.gamma(shape=2.0, scale=scale / 2.0))
+        for link in (a.link, b.link):
+            if link.extra_jitter_s > 0:
+                base += float(
+                    self.rng.gamma(shape=2.0, scale=link.extra_jitter_s / 2.0)
+                )
+        return base
+
+    def nominal_rtt(self, a: Host, b: Host) -> float:
+        """Jitter-free round-trip time between two hosts."""
+        return 2.0 * self.one_way_delay(a, b, sample_jitter=False)
+
+    # ----------------------------------------------------------------- #
     # Transmission pipeline.
     # ----------------------------------------------------------------- #
 
+    def _fast_plan(self, source: Host, destination: Host) -> list:
+        """Recompute a pair's full-fusion plan (the cache-miss path).
+
+        A plan is ``[src_epoch, dst_epoch, eligible, delay]``: whether
+        the *entire* chain is currently draw-free and shaper-free for
+        this pair, and if so the deterministic hop delay.  Every
+        condition the eligibility test reads (loss rates, jitter
+        adders, latency adders, shaper presence) is only mutable
+        through link methods that bump ``conditions_epoch``, so two
+        integer comparisons (done inline in :meth:`transmit`)
+        revalidate the whole predicate on later packets.
+        """
+        source_link = source.link
+        destination_link = destination.link
+        base, scale = self._path_params(source, destination)
+        eligible = (
+            scale == 0.0
+            and source_link.loss_rate == 0.0
+            and source_link.extra_jitter_s == 0.0
+            and destination_link.loss_rate == 0.0
+            and destination_link.extra_jitter_s == 0.0
+            and destination_link.ingress_shaper is None
+        )
+        delay = base
+        delay += (
+            source_link.extra_latency_s + destination_link.extra_latency_s
+        )
+        plan = [
+            source_link.conditions_epoch,
+            destination_link.conditions_epoch,
+            eligible,
+            delay,
+        ]
+        source.fast_plans[destination.ip] = plan
+        return plan
+
     def transmit(self, packet: Packet) -> None:
         """Entry point used by :meth:`Host.send`."""
-        source = self.host_by_ip(packet.src.ip)
-        if packet.dst.ip not in self._hosts_by_ip:
-            raise RoutingError(f"no route to {packet.dst.ip!r}")
-        departure = source.link.reserve_uplink(self.simulator.now, packet.wire_bytes)
-        self.simulator.schedule_at(departure, self._propagate, packet)
+        hosts = self._hosts_by_ip
+        src_ip = packet.src.ip
+        dst_ip = packet.dst.ip
+        source = hosts.get(src_ip)
+        if source is None:
+            raise RoutingError(f"no host with ip {src_ip!r}")
+        destination = hosts.get(dst_ip)
+        if destination is None:
+            raise RoutingError(f"no route to {dst_ip!r}")
+        simulator = self.simulator
+        now = simulator.now
+        source_link = source.link
+        departure = source_link.reserve_uplink(now, packet.wire_bytes)
+        # Sender-side fusion: when the whole chain is provably
+        # stateless (no draw at departure, none at arrival, no shaper)
+        # and no scripted change overlaps the flight window, skip both
+        # intermediate events and schedule the fused delivery directly.
+        if self.fast_lane and self.base_loss_rate == 0.0:
+            destination_link = destination.link
+            plan = source.fast_plans.get(dst_ip)
+            if (
+                plan is None
+                or plan[0] != source_link.conditions_epoch
+                or plan[1] != destination_link.conditions_epoch
+            ):
+                plan = self._fast_plan(source, destination)
+            if plan[2]:
+                arrival = departure + plan[3]
+                # The truthiness pre-checks skip two method calls per
+                # packet in the (typical) no-timeline case.
+                if (
+                    not source_link._scheduled_changes
+                    or source_link.quiet_through(now, departure)
+                ) and (
+                    not destination_link._scheduled_changes
+                    or destination_link.quiet_through(now, arrival)
+                ):
+                    self.fast_lane_sender_fused += 1
+                    self._schedule_fused(packet, destination, arrival)
+                    return
+        simulator.schedule_at(departure, self._propagate, packet, source, destination)
 
-    def _propagate(self, packet: Packet) -> None:
-        if self.base_loss_rate > 0 and self.rng.random() < self.base_loss_rate:
+    def _propagate(self, packet: Packet, source: Host, destination: Host) -> None:
+        rng = self.rng
+        if self.base_loss_rate > 0 and rng.random() < self.base_loss_rate:
             self.packets_lost += 1
             return
-        source = self.host_by_ip(packet.src.ip)
-        destination = self.host_by_ip(packet.dst.ip)
+        source_link = source.link
         # Scripted egress loss (e.g. a handover outage at the sender's
         # access).  The draw only happens when a timeline has set a
         # loss rate, so static sessions consume no randomness here.
-        if source.link.loss_rate > 0 and self.rng.random() < source.link.loss_rate:
+        if source_link.loss_rate > 0 and rng.random() < source_link.loss_rate:
             self.packets_condition_lost += 1
             return
-        delay = self.one_way_delay(source, destination, sample_jitter=True)
-        self.simulator.schedule(delay, self._arrive, packet, destination)
+        destination_link = destination.link
+        base, scale = self._path_params(source, destination)
+        delay = base
+        delay += source_link.extra_latency_s + destination_link.extra_latency_s
+        if scale > 0:
+            delay += float(rng.gamma(shape=2.0, scale=scale / 2.0))
+        for link in (source_link, destination_link):
+            if link.extra_jitter_s > 0:
+                delay += float(
+                    rng.gamma(shape=2.0, scale=link.extra_jitter_s / 2.0)
+                )
+        now = self.simulator.now
+        arrival = now + delay
+        # Receiver-side fusion: no draw, no shaper, and no scripted
+        # change before the packet lands -> one fused delivery event.
+        if (
+            self.fast_lane
+            and destination_link.loss_rate == 0.0
+            and destination_link.ingress_shaper is None
+            and (
+                not destination_link._scheduled_changes
+                or destination_link.quiet_through(now, arrival)
+            )
+        ):
+            self._schedule_fused(packet, destination, arrival)
+            return
+        self.simulator.schedule_at(arrival, self._arrive, packet, destination)
+
+    def _schedule_fused(
+        self, packet: Packet, destination: Host, arrival: float
+    ) -> None:
+        link = destination.link
+        wire = packet.wire_bytes
+        entry = link.push_pending_downlink(arrival, wire)
+        # No-backlog delivery estimate (the reservation flush computes
+        # the exact time; this is only a firing floor, and it is never
+        # later than the true reservation).
+        estimate = arrival + wire * 8.0 / link.downlink_bps
+        self.fast_lane_fused += 1
+        self.simulator.schedule_at(
+            estimate, self._fast_deliver, packet, destination, entry,
+            link.last_change_s,
+        )
+
+    def _fast_deliver(
+        self, packet: Packet, destination: Host, entry: list,
+        decided_change_s: float,
+    ) -> None:
+        link = destination.link
+        now = self.simulator.now
+        delivery = entry[3]
+        if delivery < 0.0:
+            link.flush_pending_downlink(now)
+            delivery = entry[3]
+        if link.last_change_s != decided_change_s and link.last_change_s <= entry[0]:
+            # An unregistered mutation landed inside the flight window;
+            # the slow path would have seen it.  Scripted scenarios
+            # register every boundary, so this stays zero there.
+            self.fast_lane_epoch_misses += 1
+        if delivery > now:
+            # The downlink was backlogged at arrival; re-arm at the
+            # true reservation time (exactly where the slow path's
+            # arrive event would have scheduled delivery).
+            self.fast_lane_rearmed += 1
+            self.simulator.schedule_at(delivery, destination.deliver, packet)
+            return
+        destination.deliver(packet)
 
     def _arrive(self, packet: Packet, destination: Host) -> None:
         now = self.simulator.now
@@ -165,40 +402,3 @@ class Network:
             release = shaped
         delivery = destination.link.reserve_downlink(release, packet.wire_bytes)
         self.simulator.schedule_at(delivery, destination.deliver, packet)
-
-    # ----------------------------------------------------------------- #
-    # Path properties.
-    # ----------------------------------------------------------------- #
-
-    def one_way_delay(
-        self, a: Host, b: Host, sample_jitter: bool = False
-    ) -> float:
-        """One-way wide-area delay between two hosts.
-
-        With ``sample_jitter`` a random per-packet jitter component is
-        added, drawn from a gamma distribution (always positive, long
-        tail) scaled by the latency model's jitter fraction.
-
-        Scripted access conditions contribute too: each endpoint's
-        link-level latency adder extends the path, and link-level
-        jitter scales draw extra gamma components (both are exact
-        no-ops -- no rng consumed -- while the adders are zero, which
-        is what keeps static sessions bit-identical).
-        """
-        base = self.latency_model.one_way_delay_s(a.location, b.location)
-        base += a.link.extra_latency_s + b.link.extra_latency_s
-        if not sample_jitter:
-            return base
-        scale = self.latency_model.jitter_scale_s(a.location, b.location)
-        if scale > 0:
-            base += float(self.rng.gamma(shape=2.0, scale=scale / 2.0))
-        for link in (a.link, b.link):
-            if link.extra_jitter_s > 0:
-                base += float(
-                    self.rng.gamma(shape=2.0, scale=link.extra_jitter_s / 2.0)
-                )
-        return base
-
-    def nominal_rtt(self, a: Host, b: Host) -> float:
-        """Jitter-free round-trip time between two hosts."""
-        return 2.0 * self.one_way_delay(a, b, sample_jitter=False)

@@ -189,23 +189,41 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         executed = 0
+        # The loop body runs tens of millions of times per campaign:
+        # bind the queue and heappop once instead of re-resolving the
+        # attribute and module global on every event.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                when, _seq, callback, args = self._queue[0]
-                if until is not None and when > until:
-                    break
-                if executed >= max_events:
-                    raise SimulationError(
-                        f"exceeded {max_events} events; possible event storm"
-                    )
-                heapq.heappop(self._queue)
-                self._now = when
-                callback(*args)
-                self._processed += 1
-                executed += 1
-            if until is not None and self._now < until:
-                self._now = until
+            if until is None:
+                # Drain variant: no horizon check, pop directly.
+                while queue:
+                    if executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; possible event storm"
+                        )
+                    item = heappop(queue)
+                    self._now = item[0]
+                    item[2](*item[3])
+                    executed += 1
+            else:
+                while queue:
+                    item = queue[0]
+                    when = item[0]
+                    if when > until:
+                        break
+                    if executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; possible event storm"
+                        )
+                    heappop(queue)
+                    self._now = when
+                    item[2](*item[3])
+                    executed += 1
+                if self._now < until:
+                    self._now = until
         finally:
+            self._processed += executed
             self._running = False
 
     def run_for(self, duration: float) -> None:
