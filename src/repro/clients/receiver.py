@@ -98,17 +98,35 @@ class ReceiverEngine:
         flow_id: str,
         spec: FrameSpec,
         on_frame: Optional[Callable] = None,
+        codec_batch: Optional[bool] = None,
+        pixels: bool = True,
     ) -> VideoDecoder:
-        """Decode a video flow; ``on_frame(frame, time)`` per render."""
-        decoder = VideoDecoder(spec)
+        """Decode a video flow; ``on_frame(frame, time)`` per render.
+
+        ``pixels=False`` attaches a stats-only decoder (freeze/decoded
+        counts, no reconstructions) for flows nobody renders.
+        """
+        decoder = VideoDecoder(spec, batch=codec_batch, pixels=pixels)
         self._video_decoders[flow_id] = decoder
         if on_frame is not None:
             self._frame_sinks[flow_id] = on_frame
         return decoder
 
-    def listen_audio(self, flow_id: str, config: AudioCodecConfig) -> AudioDecoder:
-        """Decode an audio flow for later waveform assembly."""
-        decoder = AudioDecoder(AudioCodec(config))
+    def listen_audio(
+        self,
+        flow_id: str,
+        config: AudioCodecConfig,
+        codec_batch: Optional[bool] = None,
+    ) -> AudioDecoder:
+        """Decode an audio flow for later waveform assembly.
+
+        With batching on, received frames are parked and inverse
+        transformed in one batched IDCT when the waveform is first
+        assembled (post-session MOS scoring) -- bit-identical to eager
+        decoding, minus a per-frame transform on the packet path.
+        """
+        decoder = AudioDecoder(AudioCodec(config, batch=codec_batch),
+                               batch=codec_batch)
         self._audio_decoders[flow_id] = decoder
         return decoder
 

@@ -118,6 +118,7 @@ class VideoStreamer(_SenderBase):
         spec: FrameSpec,
         codec_config: Optional[VideoCodecConfig] = None,
         normalize_wire_rate: bool = True,
+        codec_batch: Optional[bool] = None,
     ) -> None:
         super().__init__(client, wiring)
         if client.camera is None:
@@ -150,6 +151,7 @@ class VideoStreamer(_SenderBase):
                 target_bps=rates[layer]
                 * pixel_scale
                 * platform.encoder_efficiency,
+                batch=codec_batch,
             )
         self._start_time = 0.0
         self._ticker = None
@@ -383,11 +385,12 @@ class AudioStreamer(_SenderBase):
         client: "BaseClient",
         wiring: SessionWiring,
         config: AudioCodecConfig,
+        codec_batch: Optional[bool] = None,
     ) -> None:
         super().__init__(client, wiring)
         if client.microphone is None:
             raise SessionError(f"{client.name} has no microphone attached")
-        self.codec = AudioCodec(config)
+        self.codec = AudioCodec(config, batch=codec_batch)
         self._start_time = 0.0
         self._ticker = None
         self.frames_sent = 0
@@ -417,11 +420,11 @@ class AudioStreamer(_SenderBase):
         )
         flow_id = self.wiring.audio_flow(self.client.name)
         frame_samples = self.codec.config.frame_samples
-        for k in range(AUDIO_FRAMES_PER_TICK):
-            samples = batch[k * frame_samples : (k + 1) * frame_samples]
-            if len(samples) < frame_samples:
-                break
-            encoded = self.codec.encode_frame(samples)
+        # One batched encode per tick: a single DCT + quantiser fit
+        # over the tick's whole frame matrix (any trailing partial
+        # frame is dropped, exactly as the per-frame loop broke early).
+        usable = (len(batch) // frame_samples) * frame_samples
+        for k, encoded in enumerate(self.codec.encode(batch[:usable])):
             self._emit(
                 flow_id,
                 encoded.size_bytes,

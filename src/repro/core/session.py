@@ -22,7 +22,7 @@ from ..errors import ConfigurationError, MeasurementError, SessionError
 from ..media.audio import SpeechLikeSource
 from ..media.audio_codec import AudioCodecConfig
 from ..media.feeds import FlashFeed, HighMotionFeed, LowMotionFeed, StaticFeed
-from ..media.frames import FrameSource, FrameSpec
+from ..media.frames import CachedFrames, FrameSource, FrameSpec
 from ..media.padding import PaddedSource
 from ..media.video_codec import VideoCodecConfig
 from ..net.capture import Capture, Direction
@@ -72,6 +72,11 @@ class SessionConfig:
             platform randomness).
         feed_seed: Seed for the synthetic feeds.
         gop_size: Codec keyframe spacing.
+        codec_batch: Force the codec batching engine on (True) or off
+            (False) for this session's codecs and decoders; ``None``
+            follows :data:`repro.media.batching.BATCH_DEFAULT`.
+            Batching is bit-identical either way -- this knob exists
+            for the equivalence tests and for debugging.
         flash_period_s: Flash cadence for lag feeds.
         timelines: Optional per-client condition timelines (client name
             -> :class:`~repro.net.dynamics.ConditionTimeline`).  Each is
@@ -97,6 +102,7 @@ class SessionConfig:
     session_index: int = 0
     feed_seed: int = 0
     gop_size: int = 30
+    codec_batch: Optional[bool] = None
     flash_period_s: float = 2.0
     normalize_wire_rates: Optional[bool] = None
     timelines: Optional[Dict[str, ConditionTimeline]] = None
@@ -536,7 +542,9 @@ class MeetingSession:
         host_client = self.clients[self.host_name]
 
         if config.feed is not None:
-            content = make_feed(config)
+            # The camera ticks and the post-session QoE reference both
+            # draw the same deterministic frames; memoise them.
+            content = CachedFrames(make_feed(config))
             artifacts.content_feed = content
             if config.pad_fraction > 0 and config.feed != "flash":
                 padded = PaddedSource(content, config.pad_fraction)
@@ -561,6 +569,7 @@ class MeetingSession:
                     bitrate_bps=self.platform.audio_bps,
                     concealment=self.platform.audio_concealment,
                 ),
+                codec_batch=config.codec_batch,
             )
             audio.start(config.duration_s, start_delay_s=config.settle_s)
             artifacts.streamers[self.host_name + ":audio"] = audio
@@ -595,6 +604,7 @@ class MeetingSession:
                 camera_spec,
                 codec_config=VideoCodecConfig(gop_size=config.gop_size),
                 normalize_wire_rate=config.wire_normalized,
+                codec_batch=config.codec_batch,
             )
         else:
             streamer = ModelVideoStreamer(
@@ -640,7 +650,9 @@ class MeetingSession:
                     camera_spec,
                     pad_fraction=config.pad_fraction,
                 )
-                decoder = client.receiver.watch_video(high_flow, camera_spec)
+                decoder = client.receiver.watch_video(
+                    high_flow, camera_spec, codec_batch=config.codec_batch
+                )
                 recorder.start(
                     decoder,
                     config.duration_s,
@@ -648,8 +660,14 @@ class MeetingSession:
                 )
                 artifacts.recorders[name] = recorder
             elif watches_host and high_flow is not None and config.use_codec:
-                # Decode without recording so freeze statistics exist.
-                client.receiver.watch_video(high_flow, camera_spec)
+                # Decode without recording so freeze statistics exist;
+                # nobody renders this flow, so skip reconstruction.
+                client.receiver.watch_video(
+                    high_flow,
+                    camera_spec,
+                    codec_batch=config.codec_batch,
+                    pixels=False,
+                )
             if config.record_audio and audio_flow is not None:
                 client.receiver.listen_audio(
                     audio_flow,
@@ -657,6 +675,7 @@ class MeetingSession:
                         bitrate_bps=self.platform.audio_bps,
                         concealment=self.platform.audio_concealment,
                     ),
+                    codec_batch=config.codec_batch,
                 )
 
     # ------------------------------------------------------------- #

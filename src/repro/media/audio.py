@@ -115,6 +115,12 @@ class SpeechLikeSource(AudioSource):
         self.phrase_duration_s = phrase_duration_s
         self.pause_duration_s = pause_duration_s
         self.noise_level = noise_level
+        # The tiled breath-noise buffer depends only on the seed; the
+        # streamer reads this source every audio tick, and regenerating
+        # one second of gaussians per read dominated the source.
+        self._noise_buffer = np.random.default_rng(self.seed).standard_normal(
+            self.sample_rate
+        )
 
     def samples(self, start: int, count: int) -> np.ndarray:
         n = np.arange(start, start + count, dtype=np.float64)
@@ -124,11 +130,16 @@ class SpeechLikeSource(AudioSource):
         vibrato = 1.0 + 0.03 * np.sin(2.0 * np.pi * 5.0 * t)
         phase = 2.0 * np.pi * self.fundamental_hz * vibrato * t
 
+        # All six harmonics in one (6, count) sine call; the per-sample
+        # products and the harmonic-order accumulation are unchanged,
+        # so the summed signal matches the per-harmonic loop exactly.
+        harmonics = np.arange(1.0, 7.0)
+        sines = np.sin(harmonics[:, None] * phase)
         signal = np.zeros_like(t)
-        for harmonic in range(1, 7):
+        for k, harmonic in enumerate(harmonics):
             rolloff = 1.0 / harmonic
             tilt = np.exp(-0.3 * (harmonic - 2.0) ** 2 / 4.0)  # formant bump
-            signal += rolloff * tilt * np.sin(harmonic * phase)
+            signal += rolloff * tilt * sines[k]
 
         # Syllable envelope: raised cosine at the syllable rate.
         envelope = 0.5 * (
@@ -141,13 +152,9 @@ class SpeechLikeSource(AudioSource):
         )
         envelope = envelope * in_phrase
 
-        # Deterministic breath noise: hash of the sample index.
-        rng = np.random.default_rng(self.seed)
-        # A fixed noise buffer tiled over the index keeps determinism
-        # without seeding per call.
-        buffer_len = self.sample_rate  # one second of noise
-        noise_buffer = rng.standard_normal(buffer_len)
-        noise = noise_buffer[(n.astype(np.int64)) % buffer_len]
+        # Deterministic breath noise: a fixed per-seed buffer tiled
+        # over the sample index (computed once in __init__).
+        noise = self._noise_buffer[(n.astype(np.int64)) % len(self._noise_buffer)]
 
         out = 0.35 * signal * envelope + self.noise_level * noise
         return np.clip(out, -1.0, 1.0)

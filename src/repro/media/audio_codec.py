@@ -12,13 +12,15 @@ under moderate loss, zero-fill concealment does not.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 from scipy import fft as sp_fft
 
 from ..errors import CodecError, ConfigurationError
+from .batching import batching_enabled
 
 #: Audio frame duration used by the codec (Opus default frame).
 FRAME_DURATION_S = 0.02
@@ -78,10 +80,22 @@ class AudioCodec:
     per frame (binary search) to meet the bit budget, and reports the
     realised size.  The decoder inverts, and conceals missing frames
     according to the configured strategy.
+
+    With ``batch`` on (the process default, see
+    :mod:`repro.media.batching`), :meth:`encode` transforms every frame
+    of the buffer in one ``(frames, samples)`` DCT call and fits all
+    quantisers in one vectorised bisection -- bit-identical to the
+    per-frame path, which stays available as :meth:`encode_frame` and
+    as the ``batch=False`` fallback.
     """
 
-    def __init__(self, config: Optional[AudioCodecConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[AudioCodecConfig] = None,
+        batch: Optional[bool] = None,
+    ) -> None:
         self.config = config if config is not None else AudioCodecConfig()
+        self.batch = batching_enabled(batch)
         self._next_index = 0
 
     # ----------------------------------------------------------------- #
@@ -116,17 +130,57 @@ class AudioCodec:
         return frame
 
     def encode(self, samples: np.ndarray) -> list[EncodedAudioFrame]:
-        """Encode a multiple-of-frame-size buffer into frames."""
+        """Encode a multiple-of-frame-size buffer into frames.
+
+        The batched path reshapes the buffer into a ``(frames,
+        frame_samples)`` view -- one dtype conversion, no per-frame
+        slice copies -- runs a single DCT over the matrix and fits all
+        quantisers at once.  Sparse extraction and the realised-size
+        model stay per frame (they are ragged), using exactly the
+        per-frame arithmetic, so the emitted frames are bit-identical
+        to an :meth:`encode_frame` loop.
+        """
         frame_samples = self.config.frame_samples
         if len(samples) % frame_samples != 0:
             raise CodecError(
                 f"buffer length {len(samples)} is not a multiple of "
                 f"the frame size {frame_samples}"
             )
-        return [
-            self.encode_frame(samples[i : i + frame_samples])
-            for i in range(0, len(samples), frame_samples)
-        ]
+        if not self.batch:
+            return [
+                self.encode_frame(samples[i : i + frame_samples])
+                for i in range(0, len(samples), frame_samples)
+            ]
+        frames = len(samples) // frame_samples
+        if frames == 0:
+            return []
+        matrix = np.asarray(samples, dtype=np.float64).reshape(
+            frames, frame_samples
+        )
+        coeff_stack = sp_fft.dct(matrix, norm="ortho")
+        q_steps = self._fit_quantiser_batch(
+            coeff_stack, self.config.frame_budget_bits
+        )
+        level_stack = np.round(coeff_stack / q_steps[:, None]).astype(np.int32)
+        rows, cols = np.nonzero(level_stack)
+        flat_values = level_stack[rows, cols].astype(np.int16)
+        bounds = np.searchsorted(rows, np.arange(frames + 1))
+        encoded: List[EncodedAudioFrame] = []
+        for f in range(frames):
+            start, end = bounds[f], bounds[f + 1]
+            values = flat_values[start:end]
+            encoded.append(
+                EncodedAudioFrame(
+                    index=self._next_index,
+                    q_step=float(q_steps[f]),
+                    indices=cols[start:end].astype(np.int32),
+                    values=values,
+                    frame_samples=frame_samples,
+                    size_bytes=int(np.ceil(self._bits_for(values) / 8.0)),
+                )
+            )
+            self._next_index += 1
+        return encoded
 
     @staticmethod
     def _bits_for(values: np.ndarray) -> float:
@@ -135,32 +189,81 @@ class AudioCodec:
         magnitudes = np.abs(values.astype(np.float64))
         return float(np.sum(2.5 + 1.7 * np.log2(1.0 + magnitudes))) + 64.0
 
+    @staticmethod
+    def _probe_bits(levels: np.ndarray) -> np.ndarray:
+        """Bit-model cost of non-negative quantised magnitudes.
+
+        ``sum(2.5 + 1.7*log2(1+l) for nonzero l) + 64`` evaluated as
+        ``1.7*sum(log2(1+l)) + 2.5*nnz + 64``: zero levels contribute
+        an exact ``log2(1) == 0.0`` to the full-row sum, so no masking
+        pass is needed, and the reduction along the last axis yields
+        the same per-frame values as each row on its own (numpy's
+        pairwise reduction runs per output element) -- the property the
+        batched bisection's bit-identity rests on.
+        """
+        per_level = np.log2(1.0 + levels)
+        return (
+            1.7 * np.sum(per_level, axis=-1)
+            + 2.5 * np.count_nonzero(levels, axis=-1)
+            + 64.0
+        )
+
     def _fit_quantiser(self, coeffs: np.ndarray, budget_bits: float) -> float:
         """Smallest power-ladder step whose levels fit the budget.
 
         The 24-probe bisection runs on ``|coeffs|`` directly: banker's
         rounding is sign-symmetric (``round(-x) == -round(x)``), so the
         level magnitudes -- the only thing the bit model reads -- are
-        identical to rounding the signed coefficients, while the
-        per-probe ``abs``/``astype`` temporaries of the fitting loop
-        disappear.  This method runs once per 20 ms audio frame for
-        every speaking participant, which made it one of the hottest
-        non-packet paths in a full session.
+        identical to rounding the signed coefficients.  This method
+        runs once per 20 ms audio frame for every speaking participant,
+        which made it one of the hottest non-packet paths in a full
+        session; :meth:`_fit_quantiser_batch` is its vectorised twin
+        and every probe here mirrors one lane of the batched loop
+        (``math.sqrt``/``np.sqrt`` are both correctly rounded, and
+        :meth:`_probe_bits` sums rows identically), keeping the two
+        bit-identical.
         """
         lo, hi = 1e-4, 10.0
         magnitudes = np.abs(coeffs)
         for _ in range(24):
-            mid = (lo * hi) ** 0.5
+            mid = math.sqrt(lo * hi)
             levels = np.round(magnitudes / mid)
-            nonzero = levels[levels != 0]
-            if nonzero.size:
-                bits = float(np.sum(2.5 + 1.7 * np.log2(1.0 + nonzero))) + 64.0
-            else:
-                bits = 64.0
-            if bits > budget_bits:
+            if float(self._probe_bits(levels)) > budget_bits:
                 lo = mid
             else:
                 hi = mid
+        return hi
+
+    def _fit_quantiser_batch(
+        self, coeff_stack: np.ndarray, budget_bits: float
+    ) -> np.ndarray:
+        """Per-frame quantiser fit over a ``(frames, samples)`` stack.
+
+        Every frame runs the same 24 probes as :meth:`_fit_quantiser`
+        with its own ``(lo, hi)`` bracket; one probe is one vectorised
+        pass over the whole stack instead of ``frames`` numpy calls.
+        """
+        frames = coeff_stack.shape[0]
+        lo = np.full(frames, 1e-4)
+        hi = np.full(frames, 10.0)
+        magnitudes = np.abs(coeff_stack)
+        # Scratch buffers shared across probes: each pass writes the
+        # rounded levels and their per-level log costs in place, so the
+        # 24 probes allocate nothing but their (frames,) reductions.
+        # The element arithmetic mirrors :meth:`_probe_bits` exactly.
+        levels = np.empty_like(magnitudes)
+        costs = np.empty_like(magnitudes)
+        for _ in range(24):
+            mid = np.sqrt(lo * hi)
+            np.divide(magnitudes, mid[:, None], out=levels)
+            np.round(levels, out=levels)
+            nonzero = np.count_nonzero(levels, axis=-1)
+            np.add(levels, 1.0, out=costs)
+            np.log2(costs, out=costs)
+            bits = 1.7 * costs.sum(axis=-1) + 2.5 * nonzero + 64.0
+            over = bits > budget_bits
+            lo = np.where(over, mid, lo)
+            hi = np.where(over, hi, mid)
         return hi
 
     # ----------------------------------------------------------------- #
@@ -179,20 +282,51 @@ class AudioDecoder:
 
     Feed frames with :meth:`push`; missing indices are concealed.  The
     final waveform is assembled with :meth:`waveform`.
+
+    With ``batch`` on, pushed frames are only parked; the inverse
+    transforms run lazily in one batched IDCT over every pending frame
+    when the waveform is assembled.  The decoded samples are
+    bit-identical to eager per-frame decoding (``batch=False``) -- the
+    scatter into the coefficient matrix is the same arithmetic and the
+    batched IDCT transforms each row exactly as a lone frame.
     """
 
-    def __init__(self, codec: AudioCodec) -> None:
+    def __init__(self, codec: AudioCodec, batch: Optional[bool] = None) -> None:
         self._codec = codec
+        self._batch = batching_enabled(batch)
         self._frames: dict[int, np.ndarray] = {}
+        self._encoded: dict[int, EncodedAudioFrame] = {}
         self._max_index = -1
         self.frames_received = 0
         self.frames_concealed = 0
 
     def push(self, frame: EncodedAudioFrame) -> None:
         """Accept one encoded frame (in any order)."""
-        self._frames[frame.index] = self._codec.decode_frame(frame)
+        if self._batch and frame.frame_samples == self._codec.config.frame_samples:
+            # Park for the batched lazy decode; a duplicate push wins
+            # over an already-decoded copy, as it does eagerly.
+            self._encoded[frame.index] = frame
+            self._frames.pop(frame.index, None)
+        else:
+            self._frames[frame.index] = self._codec.decode_frame(frame)
         self._max_index = max(self._max_index, frame.index)
         self.frames_received += 1
+
+    def _decode_pending(self) -> None:
+        """One batched IDCT over every frame parked by :meth:`push`."""
+        if not self._encoded:
+            return
+        pending = list(self._encoded.items())
+        self._encoded.clear()
+        frame_samples = self._codec.config.frame_samples
+        coeffs = np.zeros((len(pending), frame_samples), dtype=np.float64)
+        for row, (_index, frame) in enumerate(pending):
+            coeffs[row, frame.indices] = (
+                frame.values.astype(np.float64) * frame.q_step
+            )
+        chunks = sp_fft.idct(coeffs, norm="ortho")
+        for row, (index, _frame) in enumerate(pending):
+            self._frames[index] = chunks[row]
 
     def waveform(self, total_frames: Optional[int] = None) -> np.ndarray:
         """Assemble the decoded signal, concealing missing frames.
@@ -201,6 +335,7 @@ class AudioDecoder:
             total_frames: Length of the stream in frames; defaults to
                 the highest index received + 1.
         """
+        self._decode_pending()
         frame_samples = self._codec.config.frame_samples
         if total_frames is None:
             total_frames = self._max_index + 1

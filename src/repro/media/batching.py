@@ -1,0 +1,30 @@
+"""The codec batching switch, mirroring the packet-path fast lane.
+
+PR 5 vectorises both codecs: the audio codec runs one DCT (and one
+quantiser fit) over a whole ``(frames, samples)`` matrix, the video
+codec stacks block transforms over ``(frames, by, bx, 8, 8)`` where
+frames are independent, and the audio decoder inverse-transforms every
+received frame in a single batched call at waveform-assembly time.
+
+Like the fast lane, batching is a pure execution strategy: every
+batched path is **bit-identical** to its per-frame twin (proven by
+``tests/test_codec_batch_equivalence.py``), so flipping it off is only
+a debugging aid, never a correctness knob.
+
+``BATCH_DEFAULT`` is consulted when a codec is built without an
+explicit ``batch=`` argument -- the same shape as
+:data:`repro.net.routing.FAST_LANE_DEFAULT`.  The bit-identity tests
+(and anyone bisecting a suspected batching divergence) flip it off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Process-wide default for newly constructed codecs and decoders.
+BATCH_DEFAULT = True
+
+
+def batching_enabled(batch: Optional[bool]) -> bool:
+    """Resolve a per-instance override against the process default."""
+    return BATCH_DEFAULT if batch is None else bool(batch)

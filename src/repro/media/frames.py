@@ -107,6 +107,42 @@ class FrameSource(abc.ABC):
         return np.random.default_rng((self.seed << 20) ^ key)
 
 
+class CachedFrames(FrameSource):
+    """A memoising proxy over a deterministic frame source.
+
+    Sessions generate every content frame at least twice -- once when
+    the camera tick feeds the encoder, once more when QoE scoring
+    rebuilds the reference window -- and the sources are deterministic
+    by contract, so the second generation is pure waste.  The proxy
+    keeps a byte-bounded *keep-first* cache: both the camera and the
+    scoring reference walk the stream from the front, so when a session
+    outsizes the budget the retained prefix is exactly the part that
+    gets re-read (a FIFO would evict everything before the second pass
+    and never hit).  Frames are handed out as copies -- callers may
+    freely mutate what they receive, as they could the fresh arrays.
+    Unknown attributes (e.g. ``FlashFeed.flash_times``) delegate to the
+    wrapped source.
+    """
+
+    def __init__(self, source: FrameSource, cache_bytes: int = 32 << 20) -> None:
+        super().__init__(source.spec, source.seed)
+        self.source = source
+        self._cache: "dict[int, np.ndarray]" = {}
+        self._cache_bytes = cache_bytes
+
+    def frame(self, index: int) -> np.ndarray:
+        cached = self._cache.get(index)
+        if cached is None:
+            cached = self.source.frame(index)
+            capacity = max(1, self._cache_bytes // max(cached.nbytes, 1))
+            if len(self._cache) < capacity:
+                self._cache[index] = cached
+        return cached.copy()
+
+    def __getattr__(self, name: str):
+        return getattr(self.source, name)
+
+
 def smooth_noise_texture(
     rng: np.random.Generator,
     shape: tuple[int, int],

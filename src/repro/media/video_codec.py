@@ -23,12 +23,13 @@ after quantisation) and are fragmented for transport by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 from scipy import fft as sp_fft
 
 from ..errors import CodecError, ConfigurationError
+from .batching import batching_enabled
 from .frames import FrameSpec
 
 #: Side of the transform block.
@@ -55,6 +56,17 @@ _JPEG_LUMA = np.array(
     dtype=np.float64,
 )
 QUANT_WEIGHTS = _JPEG_LUMA / _JPEG_LUMA[0, 0]
+
+#: Target bytes of one float64 frame block in batched transforms --
+#: stacked DCT/IDCT temporaries must stay cache-resident (full-stack
+#: passes are DRAM-bound and can lose to the per-frame loop), the same
+#: blocking the resize pipeline uses.
+_BATCH_BLOCK_BYTES = 2 << 20
+
+
+def _batch_step(plane_shape: tuple[int, int]) -> int:
+    """Frames per cache-sized block for a padded plane geometry."""
+    return max(1, _BATCH_BLOCK_BYTES // (plane_shape[0] * plane_shape[1] * 8))
 
 
 @dataclass(frozen=True)
@@ -114,29 +126,58 @@ class EncodedFrame:
 
 
 def _pad_to_blocks(frame: np.ndarray) -> np.ndarray:
-    """Edge-pad a frame so both dimensions are multiples of BLOCK."""
-    height, width = frame.shape
+    """Edge-pad so the trailing two dimensions are multiples of BLOCK.
+
+    Accepts a single ``(H, W)`` plane or a stack with any leading batch
+    dimensions (``(F, H, W)`` from :meth:`VideoCodec.encode_batch`);
+    stacked padding replicates exactly the per-frame edge pad.
+    """
+    height, width = frame.shape[-2:]
     pad_h = (-height) % BLOCK
     pad_w = (-width) % BLOCK
     if pad_h == 0 and pad_w == 0:
         return frame
-    return np.pad(frame, ((0, pad_h), (0, pad_w)), mode="edge")
+    pad = [(0, 0)] * (frame.ndim - 2) + [(0, pad_h), (0, pad_w)]
+    return np.pad(frame, pad, mode="edge")
 
 
 def _block_dct(plane: np.ndarray) -> np.ndarray:
-    """Forward 8x8 block DCT of a (H, W) plane; H, W multiples of 8."""
-    height, width = plane.shape
-    blocks = plane.reshape(height // BLOCK, BLOCK, width // BLOCK, BLOCK)
-    blocks = blocks.transpose(0, 2, 1, 3)
+    """Forward 8x8 block DCT of a ``(..., H, W)`` plane (stack).
+
+    Returns ``(..., by, bx, 8, 8)`` coefficients.  A stacked call runs
+    one transform over every frame's blocks; pocketfft applies the same
+    1-D kernels per innermost slab, so the stacked coefficients are
+    bit-identical to transforming each frame alone (the codec batch
+    equivalence suite pins this).
+    """
+    height, width = plane.shape[-2:]
+    blocks = plane.reshape(
+        plane.shape[:-2] + (height // BLOCK, BLOCK, width // BLOCK, BLOCK)
+    )
+    blocks = np.swapaxes(blocks, -3, -2)
     coeffs = sp_fft.dctn(blocks, axes=(-2, -1), norm="ortho")
     return coeffs
 
 def _block_idct(coeffs: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
-    """Inverse of :func:`_block_dct`; returns a (H, W) plane."""
+    """Inverse of :func:`_block_dct`; returns a ``(..., H, W)`` plane."""
     blocks = sp_fft.idctn(coeffs, axes=(-2, -1), norm="ortho")
     height, width = shape
-    plane = blocks.transpose(0, 2, 1, 3).reshape(height, width)
-    return plane
+    blocks = np.swapaxes(blocks, -3, -2)
+    return blocks.reshape(blocks.shape[:-4] + (height, width))
+
+
+def _skip_deadzone_mask(residual: np.ndarray) -> np.ndarray:
+    """Blocks whose residual peak sits inside the skip deadzone.
+
+    ``(..., H, W)`` residuals -> ``(..., by, bx)`` booleans.  The max
+    runs straight over the ``(by, 8, bx, 8)`` view (no transpose, no
+    flattened copy); a maximum is order-free, so the mask is exact.
+    """
+    height, width = residual.shape[-2:]
+    peaks = np.abs(residual).reshape(
+        residual.shape[:-2] + (height // BLOCK, BLOCK, width // BLOCK, BLOCK)
+    ).max(axis=(-3, -1))
+    return peaks < SKIP_DEADZONE_LUMA
 
 
 def _estimate_bits(values: np.ndarray, num_blocks: int, occupied_blocks: int) -> int:
@@ -149,6 +190,11 @@ def _estimate_bits(values: np.ndarray, num_blocks: int, occupied_blocks: int) ->
     are nearly free, so a static scene compresses to almost nothing --
     which is what lets the Figure 2 lag detector separate blank frames
     (small packets) from flash frames (bursts of big packets).
+
+    Deliberately per-frame even in batched encodes: each frame's size
+    feeds the rate controller before the next frame quantises, and the
+    compressed-magnitude sum is ragged across frames, so a cross-frame
+    sizer can never be used without changing the quantiser walk.
     """
     if values.size:
         magnitudes = np.abs(values.astype(np.float64))
@@ -158,6 +204,82 @@ def _estimate_bits(values: np.ndarray, num_blocks: int, occupied_blocks: int) ->
         coeff_bits = 0.0
     overhead_bits = 1.0 * num_blocks + 9.0 * occupied_blocks + 256.0
     return int(np.ceil((coeff_bits + overhead_bits) / 8.0))
+
+
+def _levels_from_sparse(encoded: "EncodedFrame") -> np.ndarray:
+    """Densify one frame's sparse levels to ``(by, bx, 8, 8)``."""
+    blocks_shape = (
+        encoded.shape[0] // BLOCK,
+        encoded.shape[1] // BLOCK,
+        BLOCK,
+        BLOCK,
+    )
+    flat = np.zeros(int(np.prod(blocks_shape)), dtype=np.float64)
+    flat[encoded.indices] = encoded.values.astype(np.float64)
+    return flat.reshape(blocks_shape)
+
+
+def _block_grid(plane: np.ndarray) -> np.ndarray:
+    """A ``(by, bx, 8, 8)`` view of a ``(H, W)`` plane (no copy)."""
+    height, width = plane.shape
+    return plane.reshape(
+        height // BLOCK, BLOCK, width // BLOCK, BLOCK
+    ).swapaxes(1, 2)
+
+
+def _residual_plane_sparse(
+    levels: np.ndarray, q_step: np.float64, shape: tuple[int, int]
+) -> np.ndarray:
+    """Inverse-transform only the occupied blocks of one frame.
+
+    Empty blocks inverse-transform to exact zeros, so gathering the
+    occupied blocks into one stacked IDCT and leaving the rest as a
+    zero plane reproduces the full transform's residual.  Static
+    content under rate caps leaves most blocks empty, which is where
+    the encode/decode loops spend their transform time.
+    """
+    occupied = levels.any(axis=(-2, -1))
+    residual = np.zeros(shape, dtype=np.float64)
+    if occupied.any():
+        coeffs = levels[occupied] * (q_step * QUANT_WEIGHTS)
+        blocks = sp_fft.idctn(coeffs, axes=(-2, -1), norm="ortho")
+        _block_grid(residual)[occupied] = blocks
+    return residual
+
+
+def _apply_prediction(
+    residual: np.ndarray, keyframe: bool, reference: Optional[np.ndarray]
+) -> np.ndarray:
+    """Add the prediction basis and clamp to the pixel range.
+
+    Works in place on ``residual`` (always a fresh buffer from
+    :func:`_block_idct`, or a batch row consumed exactly once); the
+    in-place add/clip compute the same elementwise values as the
+    out-of-place originals.
+    """
+    if keyframe:
+        np.add(residual, 128.0, out=residual)
+    else:
+        if reference is None:
+            raise CodecError("inter frame without a reference")
+        np.add(residual, reference, out=residual)
+    return np.clip(residual, 0.0, 255.0, out=residual)
+
+
+def _reconstruct_from_sparse(
+    encoded: "EncodedFrame", reference: Optional[np.ndarray]
+) -> np.ndarray:
+    """Reconstruct one frame's plane from its sparse coefficients."""
+    if encoded.values.size == 0 and not encoded.keyframe and reference is not None:
+        # Fully-skipped inter frame: the residual IDCT is exactly zero
+        # and the reference is already clamped, so the reconstruction
+        # is the reference unchanged.  Static scenes under caps hit
+        # this on a quarter of their frames.
+        return reference
+    residual = _residual_plane_sparse(
+        _levels_from_sparse(encoded), np.float64(encoded.q_step), encoded.shape
+    )
+    return _apply_prediction(residual, encoded.keyframe, reference)
 
 
 class RateController:
@@ -231,10 +353,12 @@ class VideoCodec:
         spec: FrameSpec,
         config: Optional[VideoCodecConfig] = None,
         target_bps: float = 1_000_000.0,
+        batch: Optional[bool] = None,
     ) -> None:
         self.spec = spec
         self.config = config if config is not None else VideoCodecConfig()
         self.rate_controller = RateController(self.config, target_bps, spec.fps)
+        self.batch = batching_enabled(batch)
         self._reference: Optional[np.ndarray] = None
         self._frame_index = 0
         self._force_keyframe = False
@@ -252,41 +376,131 @@ class VideoCodec:
     # Encoding.
     # ----------------------------------------------------------------- #
 
+    def _next_is_keyframe(self) -> bool:
+        return (
+            self._frame_index % self.config.gop_size == 0
+            or self._reference is None
+            or self._force_keyframe
+        )
+
     def encode(self, frame: np.ndarray) -> EncodedFrame:
         """Encode the next frame of the stream."""
         if frame.shape != self.spec.shape:
             raise CodecError(
                 f"frame shape {frame.shape} does not match spec {self.spec.shape}"
             )
-        index = self._frame_index
-        keyframe = (
-            index % self.config.gop_size == 0
-            or self._reference is None
-            or self._force_keyframe
-        )
+        keyframe = self._next_is_keyframe()
         self._force_keyframe = False
         plane = _pad_to_blocks(frame.astype(np.float64))
-        if keyframe:
-            residual = plane - 128.0
-        else:
-            residual = plane - self._reference
+        return self._encode_plane(plane, frame.shape, keyframe)
 
-        coeffs = _block_dct(residual)
+    def encode_batch(
+        self, frames: Union[np.ndarray, Sequence[np.ndarray]]
+    ) -> List[EncodedFrame]:
+        """Encode a burst of consecutive frames in one batched pass.
+
+        Multi-frame bursts (recorder finalize, QoE re-encode, a
+        streamer catching up after an outage) pad and convert the whole
+        ``(F, H, W)`` stack once and run every keyframe's forward DCT
+        in a single stacked transform -- keyframe residuals are
+        ``plane - 128`` and never touch the reference, and the keyframe
+        schedule (GOP cadence, a pending :meth:`request_keyframe`, a
+        missing reference) is known before any frame is coded.  Inter
+        frames stay sequential because closed-loop prediction makes
+        each residual depend on the previous reconstruction; they share
+        the batch's pre-padded planes.  Output is bit-identical to
+        calling :meth:`encode` per frame (same sizes, quantiser walk,
+        reconstructions), with ``batch=False`` falling back to exactly
+        that loop.
+        """
+        stack = np.asarray(frames)
+        if stack.ndim != 3 or stack.shape[1:] != self.spec.shape:
+            raise CodecError(
+                f"frame stack must be (F, {self.spec.shape[0]}, "
+                f"{self.spec.shape[1]}), got {stack.shape}"
+            )
+        if stack.shape[0] == 0:
+            return []
+        if not self.batch:
+            return [self.encode(frame) for frame in stack]
+
+        if stack.dtype != np.uint8:
+            # uint8 camera frames promote to float64 exactly wherever
+            # the pipeline mixes them with floats, so the common case
+            # skips the full-stack conversion (keeping each frame's
+            # working set cache-resident); anything else converts up
+            # front to match the per-frame float64 arithmetic.
+            stack = stack.astype(np.float64)
+        planes = _pad_to_blocks(stack)
+        crop = stack.shape[1:]
+        # The keyframe schedule is deterministic up front: the first
+        # coded frame materialises a reference for the rest.
+        keyframes: List[bool] = []
+        force = self._force_keyframe
+        have_reference = self._reference is not None
+        for offset in range(planes.shape[0]):
+            index = self._frame_index + offset
+            keyframes.append(
+                index % self.config.gop_size == 0 or not have_reference or force
+            )
+            force = False
+            have_reference = True
+        self._force_keyframe = False
+        key_positions = [i for i, key in enumerate(keyframes) if key]
+        key_coeffs: dict[int, np.ndarray] = {}
+        step = _batch_step(planes.shape[-2:])
+        for chunk_start in range(0, len(key_positions), step):
+            chunk = key_positions[chunk_start : chunk_start + step]
+            stacked = _block_dct(planes[chunk] - 128.0)
+            key_coeffs.update(
+                (position, stacked[row]) for row, position in enumerate(chunk)
+            )
+        return [
+            self._encode_plane(
+                planes[i], crop, keyframes[i], coeffs=key_coeffs.get(i)
+            )
+            for i in range(planes.shape[0])
+        ]
+
+    def _encode_plane(
+        self,
+        plane: np.ndarray,
+        crop: tuple[int, int],
+        keyframe: bool,
+        coeffs: Optional[np.ndarray] = None,
+    ) -> EncodedFrame:
+        """Quantise, size and reconstruct one pre-padded float plane."""
+        index = self._frame_index
         q_step = self.rate_controller.q_step
         divisor = q_step * QUANT_WEIGHTS
-        levels = np.round(coeffs / divisor).astype(np.int32)
-
-        # Skip deadzone: blocks whose residual is within a luma step of
-        # zero carry no signal, only quantisation noise from earlier
-        # frames; coding them would make the encoder chase its own
-        # reconstruction error forever on static content.
-        if not keyframe:
-            block_peak = np.abs(residual).reshape(
-                residual.shape[0] // BLOCK, BLOCK,
-                residual.shape[1] // BLOCK, BLOCK,
-            ).transpose(0, 2, 1, 3).reshape(levels.shape[0], levels.shape[1], -1
-            ).max(axis=-1)
-            levels[block_peak < SKIP_DEADZONE_LUMA] = 0
+        if keyframe:
+            if coeffs is None:
+                coeffs = _block_dct(plane - 128.0)
+            # coeffs is a private buffer (fresh transform output or a
+            # batch row consumed once), so quantise it in place.
+            np.divide(coeffs, divisor, out=coeffs)
+            np.round(coeffs, out=coeffs)
+            levels = coeffs.astype(np.int32)
+        else:
+            # Skip deadzone: blocks whose residual is within a luma
+            # step of zero carry no signal, only quantisation noise
+            # from earlier frames; coding them would make the encoder
+            # chase its own reconstruction error forever on static
+            # content.  The mask depends on the residual alone, so
+            # masked blocks' coefficients are never consumed -- gather
+            # only the live blocks into one stacked transform.
+            residual = plane - self._reference
+            keep = ~_skip_deadzone_mask(residual)
+            levels = np.zeros(
+                (keep.shape[0], keep.shape[1], BLOCK, BLOCK), dtype=np.int32
+            )
+            if keep.any():
+                coeffs = sp_fft.dctn(
+                    _block_grid(residual)[keep], axes=(-2, -1), norm="ortho"
+                )
+                np.divide(coeffs, divisor, out=coeffs)
+                np.round(coeffs, out=coeffs)
+                levels[keep] = coeffs.astype(np.int32)
 
         flat = levels.reshape(-1)
         nonzero = np.nonzero(flat)[0]
@@ -302,15 +516,25 @@ class VideoCodec:
             keyframe=keyframe,
             q_step=q_step,
             shape=plane.shape,
-            crop=frame.shape,
+            crop=crop,
             indices=nonzero.astype(np.int32),
             values=values,
             size_bytes=size_bytes,
         )
 
         # Reconstruct exactly as the decoder will, to keep references
-        # in sync (closed-loop prediction).
-        self._reference = self._reconstruct_plane(encoded, self._reference)
+        # in sync (closed-loop prediction).  The decoder rebuilds the
+        # levels from the int16 sparse values, so dequantise the same
+        # int16 view here rather than re-scattering.  A fully-skipped
+        # inter frame reconstructs to the reference unchanged (zero
+        # residual into an already-clamped plane) -- no transform.
+        if not (values.size == 0 and not keyframe):
+            residual_rec = _residual_plane_sparse(
+                levels.astype(np.int16), np.float64(q_step), encoded.shape
+            )
+            self._reference = _apply_prediction(
+                residual_rec, keyframe, self._reference
+            )
         self._frame_index += 1
         self.rate_controller.update(size_bytes * 8.0, keyframe)
         return encoded
@@ -318,24 +542,7 @@ class VideoCodec:
     def _reconstruct_plane(
         self, encoded: EncodedFrame, reference: Optional[np.ndarray]
     ) -> np.ndarray:
-        blocks_shape = (
-            encoded.shape[0] // BLOCK,
-            encoded.shape[1] // BLOCK,
-            BLOCK,
-            BLOCK,
-        )
-        flat = np.zeros(int(np.prod(blocks_shape)), dtype=np.float64)
-        flat[encoded.indices] = encoded.values.astype(np.float64)
-        levels = flat.reshape(blocks_shape)
-        coeffs = levels * (encoded.q_step * QUANT_WEIGHTS)
-        residual = _block_idct(coeffs, encoded.shape)
-        if encoded.keyframe:
-            plane = residual + 128.0
-        else:
-            if reference is None:
-                raise CodecError("inter frame without a reference")
-            plane = residual + reference
-        return np.clip(plane, 0.0, 255.0)
+        return _reconstruct_from_sparse(encoded, reference)
 
 
 class VideoDecoder:
@@ -346,9 +553,25 @@ class VideoDecoder:
         frames_frozen: Frames rendered as a freeze (gap before resync).
     """
 
-    def __init__(self, spec: FrameSpec) -> None:
+    def __init__(
+        self,
+        spec: FrameSpec,
+        batch: Optional[bool] = None,
+        pixels: bool = True,
+    ) -> None:
+        """``pixels=False`` runs the freeze/resync state machine only.
+
+        The gap statistics (``frames_decoded``/``frames_frozen``)
+        depend solely on frame metadata, so a stats-only decoder --
+        a receiver that watches a flow nobody renders -- can skip
+        every reconstruction.  ``last_frame`` stays ``None``.
+        """
         self.spec = spec
+        self.batch = batching_enabled(batch)
+        self.pixels = pixels
         self._reference: Optional[np.ndarray] = None
+        self._rendered: Optional[np.ndarray] = None
+        self._has_reference = False
         self._next_expected = 0
         self._awaiting_keyframe = False
         self.frames_decoded = 0
@@ -356,11 +579,21 @@ class VideoDecoder:
 
     @property
     def last_frame(self) -> Optional[np.ndarray]:
-        """The most recently rendered frame (uint8), if any."""
+        """The most recently rendered frame (uint8), if any.
+
+        Memoised per reference: the desktop recorder polls this on its
+        own clock, far more often than the stream actually changes, so
+        the crop/clamp/cast runs once per decoded frame.  Treat the
+        returned array as read-only (repeat reads share it).
+        """
         if self._reference is None:
             return None
-        height, width = self.spec.shape
-        return np.clip(self._reference[:height, :width], 0, 255).astype(np.uint8)
+        if self._rendered is None:
+            height, width = self.spec.shape
+            self._rendered = np.clip(
+                self._reference[:height, :width], 0, 255
+            ).astype(np.uint8)
+        return self._rendered
 
     def decode(self, encoded: EncodedFrame) -> Optional[np.ndarray]:
         """Decode one frame; returns the rendered uint8 frame.
@@ -376,19 +609,136 @@ class VideoDecoder:
             self._next_expected = encoded.index + 1
             self.frames_frozen += 1
             return self.last_frame
-        if not encoded.keyframe and self._reference is None:
+        if not encoded.keyframe and not self._has_reference:
             self._next_expected = encoded.index + 1
             self.frames_frozen += 1
             return None
 
-        codec = VideoCodec(self.spec)  # geometry helper; no state used
-        self._reference = codec._reconstruct_plane(
-            encoded, self._reference if not encoded.keyframe else None
-        )
+        if self.pixels:
+            reconstructed = _reconstruct_from_sparse(
+                encoded, self._reference if not encoded.keyframe else None
+            )
+            if reconstructed is not self._reference:
+                # Fully-skipped frames hand the reference back
+                # unchanged; keep the rendered cache with it.
+                self._reference = reconstructed
+                self._rendered = None
+        self._has_reference = True
         self._awaiting_keyframe = False
         self._next_expected = encoded.index + 1
         self.frames_decoded += 1
         return self.last_frame
+
+    def decode_batch(
+        self, frames: Sequence[EncodedFrame]
+    ) -> List[Optional[np.ndarray]]:
+        """Decode a burst of frames; returns each frame's rendered output.
+
+        Equivalent to calling :meth:`decode` per frame, in order.  The
+        freeze/resync state machine runs on metadata alone (indices,
+        keyframe flags, reference presence), so it is replayed first to
+        find which frames actually reconstruct; those frames' inverse
+        transforms -- the expensive part -- then run as one batched
+        IDCT over an ``(F, by, bx, 8, 8)`` stack, and a second pass
+        applies prediction and renders in stream order.  Bit-identical
+        to the per-frame loop (which ``batch=False`` falls back to).
+        """
+        frames = list(frames)
+        if not self.batch or not self.pixels or len(frames) < 2:
+            # Stats-only decoding is pure metadata work; batching
+            # would only add stack bookkeeping.
+            return [self.decode(encoded) for encoded in frames]
+        if len({encoded.shape for encoded in frames}) > 1:
+            return [self.decode(encoded) for encoded in frames]
+
+        # Pass 1: replay the gap/freeze logic without touching pixels.
+        DECODE, FREEZE, NO_OUTPUT = 0, 1, 2
+        actions: List[int] = []
+        next_expected = self._next_expected
+        awaiting = self._awaiting_keyframe
+        have_reference = self._has_reference
+        to_decode: List[EncodedFrame] = []
+        for encoded in frames:
+            gap = encoded.index != next_expected
+            if gap and not encoded.keyframe:
+                awaiting = True
+            if awaiting and not encoded.keyframe:
+                actions.append(FREEZE)
+            elif not encoded.keyframe and not have_reference:
+                actions.append(NO_OUTPUT)
+            else:
+                actions.append(DECODE)
+                # Fully-skipped inter frames reconstruct to the
+                # reference unchanged; keep them out of the IDCT stack.
+                if encoded.keyframe or encoded.values.size:
+                    to_decode.append(encoded)
+                awaiting = False
+                have_reference = True
+            next_expected = encoded.index + 1
+
+        # The batched inverse transform of every reconstructing frame:
+        # gather the occupied blocks of the whole burst into one
+        # stacked IDCT (empty blocks invert to exact zeros), then
+        # scatter each frame's blocks back into its zero plane.
+        residuals: List[np.ndarray] = []
+        if to_decode:
+            shape = to_decode[0].shape
+            occupied_masks: List[np.ndarray] = []
+            coeff_blocks: List[np.ndarray] = []
+            for encoded in to_decode:
+                levels = _levels_from_sparse(encoded)
+                occupied = levels.any(axis=(-2, -1))
+                occupied_masks.append(occupied)
+                coeff_blocks.append(
+                    levels[occupied]
+                    * (np.float64(encoded.q_step) * QUANT_WEIGHTS)
+                )
+            gathered = np.concatenate(coeff_blocks)
+            inverted = np.empty_like(gathered)
+            step = max(1, _BATCH_BLOCK_BYTES // (BLOCK * BLOCK * 8))
+            for start in range(0, gathered.shape[0], step):
+                inverted[start : start + step] = sp_fft.idctn(
+                    gathered[start : start + step],
+                    axes=(-2, -1),
+                    norm="ortho",
+                )
+            offset = 0
+            for occupied in occupied_masks:
+                count = int(np.count_nonzero(occupied))
+                residual = np.zeros(shape, dtype=np.float64)
+                if count:
+                    _block_grid(residual)[occupied] = inverted[
+                        offset : offset + count
+                    ]
+                residuals.append(residual)
+                offset += count
+
+        # Pass 2: apply predictions sequentially and render in order.
+        outputs: List[Optional[np.ndarray]] = []
+        row = 0
+        for encoded, action in zip(frames, actions):
+            if action != DECODE:
+                self._next_expected = encoded.index + 1
+                self.frames_frozen += 1
+                outputs.append(self.last_frame if action == FREEZE else None)
+                continue
+            if encoded.keyframe or encoded.values.size:
+                self._reference = _apply_prediction(
+                    residuals[row],
+                    encoded.keyframe,
+                    self._reference if not encoded.keyframe else None,
+                )
+                self._rendered = None
+                row += 1
+            self._has_reference = True
+            self._next_expected = encoded.index + 1
+            self.frames_decoded += 1
+            outputs.append(self.last_frame)
+        # The replay's final await state is the decoder's state: a burst
+        # that ends frozen must leave later decodes waiting for a
+        # keyframe, exactly as the per-frame loop would.
+        self._awaiting_keyframe = awaiting
+        return outputs
 
     def mark_lost(self, frame_index: int) -> Optional[np.ndarray]:
         """Record that ``frame_index`` was lost in transport.
