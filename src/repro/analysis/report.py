@@ -52,6 +52,28 @@ class ExperimentReport:
         self._sections.append(section)
         return section
 
+    def has_section(self, title: str) -> bool:
+        """Whether a section with this title exists."""
+        return any(s.title == title for s in self._sections)
+
+    def replace_section(
+        self, title: str, body: str, notes: Sequence[str] = ()
+    ) -> ReportSection:
+        """Upsert a section in place.
+
+        An existing section keeps its position (a live report refreshed
+        incrementally -- e.g. by ``campaign watch`` -- does not reorder
+        on every update); a new title is appended.
+        """
+        for index, section in enumerate(self._sections):
+            if section.title == title:
+                replacement = ReportSection(
+                    title=title, body=body, notes=list(notes)
+                )
+                self._sections[index] = replacement
+                return replacement
+        return self.add_section(title, body, notes)
+
     def add_table(
         self,
         title: str,

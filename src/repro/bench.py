@@ -58,6 +58,8 @@ class BenchProfile:
     qoe_shape: "tuple[int, int]" = (144, 192)
     audio_seconds: float = 5.0
     video_frames: int = 48
+    fabric_cells: int = 96
+    fabric_spin_ms: float = 2.0
 
     @classmethod
     def quick(cls) -> "BenchProfile":
@@ -68,6 +70,7 @@ class BenchProfile:
             qoe_shape=(96, 128),
             audio_seconds=2.0,
             video_frames=24,
+            fabric_cells=32,
         )
 
 
@@ -385,6 +388,76 @@ def bench_qoe_batch(profile: BenchProfile) -> Dict[str, float]:
 
 
 # --------------------------------------------------------------------- #
+# Campaign fabric micro benchmark (PR 6's scheduler).
+# --------------------------------------------------------------------- #
+
+def bench_campaign_fabric(profile: BenchProfile) -> Dict[str, float]:
+    """Scheduler + store overhead on a paced no-op calibration grid.
+
+    Three timings of the same deterministic cells: a raw
+    ``execute_cell`` loop (no scheduler, no store), the inline fabric
+    (scheduler + JSONL store, one process), and the process pool with
+    two workers.  ``inline_efficiency`` -- raw wall over inline wall,
+    measured in one process on identical cells -- is the
+    hardware-independent ratio the CI gate tracks: it decays towards 0
+    if per-cell scheduling or store appends grow, and sits near 1 while
+    the fabric stays cheap relative to a ~2 ms cell.
+    """
+    import os
+    import tempfile
+
+    from .campaign.grids import calibration_campaign
+    from .campaign.runner import _cell_payload, execute_cell, run_campaign
+
+    spec = calibration_campaign(
+        cells=profile.fabric_cells, spin_ms=profile.fabric_spin_ms,
+        name="bench-fabric",
+    )
+    spec_hash = spec.spec_hash()
+    payloads = [_cell_payload(c, spec, spec_hash) for c in spec.expand()]
+
+    def raw_once() -> float:
+        start = time.perf_counter()
+        for payload in payloads:
+            execute_cell(payload)
+        return time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def scheduled_once(tag: str, **kwargs: object) -> float:
+            store = os.path.join(tmp, f"{tag}.jsonl")
+            start = time.perf_counter()
+            summary = run_campaign(spec, store, **kwargs)
+            wall = time.perf_counter() - start
+            os.remove(store)
+            if summary.failed:
+                raise RuntimeError(
+                    f"fabric bench cells failed: {summary.failed}"
+                )
+            return wall
+
+        # Best-of-2 per mode: the efficiency ratio gates CI.
+        raw = min(raw_once() for _ in range(2))
+        inline = min(
+            scheduled_once(f"inline{i}", workers=1) for i in range(2)
+        )
+        pool = min(
+            scheduled_once(f"pool{i}", workers=2, executor="pool")
+            for i in range(2)
+        )
+    cells = len(payloads)
+    return {
+        "cells": cells,
+        "spin_ms": profile.fabric_spin_ms,
+        "raw_cells_per_s": round(cells / raw, 1),
+        "inline_cells_per_s": round(cells / inline, 1),
+        "pool_cells_per_s": round(cells / pool, 1),
+        "inline_efficiency": round(raw / inline, 3),
+        "pool_speedup": round(inline / pool, 3),
+        "overhead_ms_per_cell": round((inline - raw) / cells * 1000.0, 3),
+    }
+
+
+# --------------------------------------------------------------------- #
 # Suite driver.
 # --------------------------------------------------------------------- #
 
@@ -396,6 +469,7 @@ BENCHMARKS: Dict[str, Callable[[BenchProfile], Dict[str, float]]] = {
     "qoe_batch": bench_qoe_batch,
     "audio_codec": bench_audio_codec,
     "video_codec": bench_video_codec,
+    "campaign_fabric": bench_campaign_fabric,
 }
 
 
@@ -456,6 +530,9 @@ def check_against_baseline(
     # doubled tolerance and their baseline is capped at parity -- a
     # lucky fast baseline run must not arm a flaky gate; the check is
     # for "the batch path got pathologically slower than the loop".
+    # The fabric gate follows the same shape: inline_efficiency is a
+    # within-process ratio (raw cell loop vs scheduled+stored cells)
+    # capped at parity, engaging from BENCH_pr6.json onward.
     codec_gates = (
         ("audio_codec", "batched_speedup",
          "audio batched-encode speedup", tolerance, None),
@@ -463,6 +540,8 @@ def check_against_baseline(
          "video burst-encode ratio", 2.0 * tolerance, 1.0),
         ("video_codec", "decode_batched_speedup",
          "video burst-decode ratio", 2.0 * tolerance, 1.0),
+        ("campaign_fabric", "inline_efficiency",
+         "fabric scheduling efficiency", 2.0 * tolerance, 1.0),
     )
     for bench_name, key, label, gate_tolerance, baseline_cap in codec_gates:
         fresh_bench = fresh.get("benchmarks", {}).get(bench_name)
@@ -491,7 +570,8 @@ def render_report(payload: dict) -> str:
         for key in ("packets_per_s", "events_per_s", "speedup_vs_slow",
                     "events_per_packet", "frames_per_s", "batched_speedup",
                     "encode_batched_speedup", "decode_batched_speedup",
-                    "wall_s"):
+                    "inline_cells_per_s", "inline_efficiency",
+                    "pool_speedup", "wall_s"):
             if key in result:
                 value = result[key]
                 parts.append(f"{key}={value:,}" if isinstance(value, int)

@@ -9,34 +9,71 @@ campaign:
   :class:`CampaignCell` work items with deterministic per-cell seeds,
 * :mod:`repro.campaign.registry` -- uniform adapters dispatching cells
   to the experiment drivers and serializing their results,
-* :mod:`repro.campaign.store` -- an append-only JSONL result store with
-  spec-hash integrity checking,
-* :mod:`repro.campaign.runner` -- in-process or process-pool execution
-  with resume (completed cells are skipped by id),
+* :mod:`repro.campaign.store` / :mod:`~repro.campaign.stores` --
+  pluggable result stores behind one contract: append-only JSONL,
+  sqlite, or a sharded directory, selected by path
+  (:func:`open_store`), all with spec-hash integrity checking and a
+  configurable :class:`DurabilityPolicy`,
+* :mod:`repro.campaign.fabric` -- the distributed campaign fabric:
+  sharded scheduling over pluggable executors (in-process,
+  crash-recovering pool, owned local workers), per-cell retry/timeout,
+  durable checkpoints, streaming aggregation and live watch,
+* :mod:`repro.campaign.runner` -- :func:`run_campaign`, the one-call
+  entry point with resume (completed cells are skipped by id),
 * :mod:`repro.campaign.aggregate` -- paper-style tables and Markdown
   reports folded from the store alone,
-* :mod:`repro.campaign.grids` -- the paper's full grid and a smoke
-  preset.
+* :mod:`repro.campaign.grids` -- the paper's full grid, a smoke
+  preset, and the no-op calibration grid.
 
 Quickstart::
 
     from repro.campaign import run_campaign, smoke_campaign
 
     spec = smoke_campaign()
-    summary = run_campaign(spec, "campaign.jsonl", workers=2)
-    summary = run_campaign(spec, "campaign.jsonl", workers=2, resume=True)
+    summary = run_campaign(spec, "campaign.sqlite", workers=2)
+    summary = run_campaign(spec, "campaign.sqlite", workers=2, resume=True)
     assert summary.executed == 0   # everything was already done
 
     from repro.campaign import report_from_store
-    print(report_from_store("campaign.jsonl").render())
+    print(report_from_store("campaign.sqlite").render())
 
-Or from the shell: ``python -m repro campaign run --smoke --workers 2``.
+Or from the shell: ``python -m repro campaign run --smoke --workers 2``,
+then ``python -m repro campaign watch <store>`` from another terminal.
 """
 
-from .aggregate import build_report, report_from_store, status_table
-from .grids import ALL_PLATFORMS, SMOKE_SCALE, paper_campaign, smoke_campaign
+from .aggregate import (
+    KIND_TABLES,
+    TableSpec,
+    build_report,
+    report_from_store,
+    status_table,
+    table_for,
+)
+from .fabric import (
+    CampaignScheduler,
+    FabricConfig,
+    ProgressSnapshot,
+    SelfCheckResult,
+    StreamingAggregator,
+    make_executor,
+    run_all_selfchecks,
+    run_selfcheck,
+    watch_store,
+)
+from .grids import (
+    ALL_PLATFORMS,
+    SMOKE_SCALE,
+    calibration_campaign,
+    paper_campaign,
+    smoke_campaign,
+)
 from .registry import ADAPTERS, ScenarioAdapter, get_adapter
-from .runner import CampaignRunSummary, execute_cell, run_campaign
+from .runner import (
+    CampaignRunSummary,
+    execute_cell,
+    execute_unit,
+    run_campaign,
+)
 from .spec import (
     KNOWN_KINDS,
     CampaignCell,
@@ -44,27 +81,58 @@ from .spec import (
     ScenarioSpec,
     derive_seed,
 )
-from .store import CampaignStore, CellRecord
+from .store import (
+    CampaignStore,
+    CampaignStoreBase,
+    CellRecord,
+    DurabilityPolicy,
+    JsonlCampaignStore,
+)
+from .store_shards import ShardedCampaignStore
+from .store_sqlite import SqliteCampaignStore
+from .stores import BACKENDS, open_store, resolve_backend
 
 __all__ = [
     "ADAPTERS",
     "ALL_PLATFORMS",
+    "BACKENDS",
     "CampaignCell",
     "CampaignRunSummary",
+    "CampaignScheduler",
     "CampaignSpec",
     "CampaignStore",
+    "CampaignStoreBase",
     "CellRecord",
+    "DurabilityPolicy",
+    "FabricConfig",
+    "JsonlCampaignStore",
+    "KIND_TABLES",
     "KNOWN_KINDS",
+    "ProgressSnapshot",
     "SMOKE_SCALE",
     "ScenarioAdapter",
     "ScenarioSpec",
+    "SelfCheckResult",
+    "ShardedCampaignStore",
+    "SqliteCampaignStore",
+    "StreamingAggregator",
+    "TableSpec",
     "build_report",
+    "calibration_campaign",
     "derive_seed",
     "execute_cell",
+    "execute_unit",
     "get_adapter",
+    "make_executor",
+    "open_store",
     "paper_campaign",
     "report_from_store",
+    "resolve_backend",
+    "run_all_selfchecks",
     "run_campaign",
+    "run_selfcheck",
     "smoke_campaign",
     "status_table",
+    "table_for",
+    "watch_store",
 ]

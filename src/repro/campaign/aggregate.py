@@ -1,22 +1,39 @@
 """Fold persisted campaign records into paper-style outputs.
 
-Everything here works from the JSONL store alone -- no driver objects,
-no re-execution -- so a report can be rendered on a different machine
-(or months later) from the store file.  Tables reuse
+Everything here works from stored cell records alone -- no driver
+objects, no re-execution -- so a report can be rendered on a different
+machine (or months later) from any store backend.  Tables reuse
 :class:`~repro.analysis.tables.TextTable` and the Markdown shape of
 :class:`~repro.analysis.report.ExperimentReport`, so campaign output
 matches the per-figure benchmarks.
+
+Each paper table is declared as a :class:`TableSpec`: headers plus a
+*per-record* row builder.  The batch path (:func:`build_report`) and
+the streaming path (:class:`~repro.campaign.fabric.streaming.StreamingAggregator`,
+which folds records into table rows as they arrive) share these specs,
+which is what keeps an incrementally-built report identical to one
+assembled from the store after the fact.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from ..analysis.report import ExperimentReport
 from ..analysis.tables import TextTable
 from .spec import CampaignSpec
-from .store import CampaignStore, CellRecord
+from .store import CellRecord
+from .stores import open_store
 
 #: Render order and section titles for the per-kind tables.
 KIND_TITLES = {
@@ -26,6 +43,7 @@ KIND_TITLES = {
     "bandwidth": "Bandwidth constraints (Figs. 17-18 protocol)",
     "mobile": "Mobile resources (Fig. 19 protocol)",
     "dynamics": "Network dynamics (scripted condition timelines)",
+    "noop": "Scheduler calibration (no-op cells)",
 }
 
 
@@ -37,157 +55,224 @@ def _fmt(value: Optional[float], spec: str = ".1f") -> str:
 
 
 def _ok_records(records: Iterable[CellRecord], kind: str) -> List[CellRecord]:
-    return sorted(
-        (r for r in records if r.kind == kind and r.ok and r.metrics),
-        key=lambda r: r.cell_id,
-    )
+    """The latest ok record per cell of ``kind``, sorted by cell id."""
+    latest: Dict[str, CellRecord] = {}
+    for record in records:
+        if record.kind == kind and record.ok and record.metrics:
+            latest[record.cell_id] = record
+    return [latest[cell_id] for cell_id in sorted(latest)]
+
+
+# --------------------------------------------------------------------- #
+# Per-kind table specs: headers + rows for ONE ok record.
+# --------------------------------------------------------------------- #
+
+RowBuilder = Callable[[CellRecord], List[List[object]]]
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One paper table: its headers and its per-record row builder."""
+
+    headers: List[str]
+    rows: RowBuilder
+
+
+def _lag_rows(record: CellRecord) -> List[List[object]]:
+    metrics = record.metrics
+    lo, hi = metrics["lag_band_ms"]
+    rtt = metrics.get("rtt_ms")
+    return [[
+        record.params.get("platform", "?"),
+        record.params.get("host", "?"),
+        record.params.get("group", "?"),
+        f"{_fmt(lo)} - {_fmt(hi)}",
+        _fmt(metrics["lag_ms"]["median"]),
+        _fmt(rtt["mean"]) if rtt else "-",
+        metrics.get("sessions", "-"),
+    ]]
+
+
+def _endpoints_rows(record: CellRecord) -> List[List[object]]:
+    metrics = record.metrics
+    return [[
+        record.params.get("platform", "?"),
+        metrics.get("sessions", "-"),
+        _fmt(metrics["mean_endpoints_per_client"]),
+        ",".join(str(p) for p in metrics.get("ports", [])),
+    ]]
+
+
+def _qoe_rows(record: CellRecord) -> List[List[object]]:
+    metrics = record.metrics
+    return [[
+        record.params.get("platform", "?"),
+        record.params.get("motion", "?"),
+        record.params.get("participants", "-"),
+        record.params.get("region", "US"),
+        f"{_fmt(metrics['psnr_db']['mean'])} "
+        f"+/- {_fmt(metrics['psnr_db']['std'])}",
+        f"{_fmt(metrics['ssim']['mean'], '.3f')} "
+        f"+/- {_fmt(metrics['ssim']['std'], '.3f')}",
+        _fmt(metrics["upload_mbps"], ".2f"),
+        _fmt(metrics["download_mbps"], ".2f"),
+    ]]
+
+
+def _bandwidth_rows(record: CellRecord) -> List[List[object]]:
+    metrics = record.metrics
+    return [[
+        record.params.get("platform", "?"),
+        record.params.get("motion", "?"),
+        metrics.get("limit_label", "-"),
+        _fmt(metrics["psnr_db"]),
+        _fmt(metrics["ssim"], ".3f"),
+        _fmt(metrics["mos_lqo"], ".2f"),
+        _fmt(metrics["download_mbps"], ".2f"),
+        metrics.get("frames_frozen", "-"),
+    ]]
+
+
+def _mobile_rows(record: CellRecord) -> List[List[object]]:
+    metrics = record.metrics
+    return [
+        [
+            record.params.get("platform", "?"),
+            record.params.get("scenario", "?"),
+            metrics.get("participants", "-"),
+            device,
+            _fmt(reading["median_cpu_pct"], ".0f"),
+            _fmt(reading["mean_rate_mbps"], ".2f"),
+            _fmt(reading["discharge_mah"], ".2f"),
+        ]
+        for device, reading in metrics["devices"].items()
+    ]
+
+
+def _dynamics_rows(record: CellRecord) -> List[List[object]]:
+    metrics = record.metrics
+    phases = metrics.get("phases", {})
+    return [
+        [
+            record.params.get("platform", "?"),
+            record.params.get("scenario", "?"),
+            name,
+            _fmt(phases[name]["psnr_db"]),
+            _fmt(phases[name]["ssim"], ".3f"),
+            _fmt(phases[name]["download_mbps"], ".2f"),
+            _fmt(phases[name]["freeze_fraction"], ".2f"),
+            phases[name].get("shaper_dropped", "-"),
+        ]
+        for name in metrics.get("phase_order", sorted(phases))
+    ]
+
+
+def _noop_rows(record: CellRecord) -> List[List[object]]:
+    metrics = record.metrics
+    return [[
+        metrics.get("index", "-"),
+        metrics.get("value", "-"),
+        record.seed,
+        _fmt(record.duration_s * 1000.0, ".2f"),
+    ]]
+
+
+#: kind -> table spec, in render order.
+KIND_TABLES: Dict[str, TableSpec] = {
+    "lag": TableSpec(
+        ["Platform", "Host", "Group", "Lag band (ms)", "Median lag (ms)",
+         "Mean RTT (ms)", "Sessions"],
+        _lag_rows,
+    ),
+    "endpoints": TableSpec(
+        ["Platform", "Sessions", "Mean endpoints/client", "Ports"],
+        _endpoints_rows,
+    ),
+    "qoe": TableSpec(
+        ["Platform", "Motion", "N", "Region", "PSNR (dB)", "SSIM",
+         "Up Mbps", "Down Mbps"],
+        _qoe_rows,
+    ),
+    "bandwidth": TableSpec(
+        ["Platform", "Motion", "Limit", "PSNR (dB)", "SSIM", "MOS-LQO",
+         "Down Mbps", "Frozen"],
+        _bandwidth_rows,
+    ),
+    "mobile": TableSpec(
+        ["Platform", "Scenario", "N", "Device", "Median CPU %",
+         "Rate (Mbps)", "mAh"],
+        _mobile_rows,
+    ),
+    "dynamics": TableSpec(
+        ["Platform", "Scenario", "Phase", "PSNR (dB)", "SSIM",
+         "Down Mbps", "Freeze", "Drops"],
+        _dynamics_rows,
+    ),
+    "noop": TableSpec(
+        ["Index", "Value", "Seed", "Duration (ms)"],
+        _noop_rows,
+    ),
+}
+
+
+def table_for(kind: str, records: Iterable[CellRecord]) -> TextTable:
+    """The paper table of one kind, from ok records."""
+    spec = KIND_TABLES[kind]
+    table = TextTable(list(spec.headers))
+    for record in _ok_records(records, kind):
+        for row in spec.rows(record):
+            table.add_row(row)
+    return table
 
 
 def lag_table(records: Iterable[CellRecord]) -> TextTable:
     """One row per (platform, host) lag cell."""
-    table = TextTable(
-        ["Platform", "Host", "Group", "Lag band (ms)", "Median lag (ms)",
-         "Mean RTT (ms)", "Sessions"]
-    )
-    for record in _ok_records(records, "lag"):
-        metrics = record.metrics
-        lo, hi = metrics["lag_band_ms"]
-        rtt = metrics.get("rtt_ms")
-        table.add_row([
-            record.params.get("platform", "?"),
-            record.params.get("host", "?"),
-            record.params.get("group", "?"),
-            f"{_fmt(lo)} - {_fmt(hi)}",
-            _fmt(metrics["lag_ms"]["median"]),
-            _fmt(rtt["mean"]) if rtt else "-",
-            metrics.get("sessions", "-"),
-        ])
-    return table
+    return table_for("lag", records)
 
 
 def endpoints_table(records: Iterable[CellRecord]) -> TextTable:
     """One row per endpoint-study cell (the 20/19.5/1.8 finding)."""
-    table = TextTable(
-        ["Platform", "Sessions", "Mean endpoints/client", "Ports"]
-    )
-    for record in _ok_records(records, "endpoints"):
-        metrics = record.metrics
-        table.add_row([
-            record.params.get("platform", "?"),
-            metrics.get("sessions", "-"),
-            _fmt(metrics["mean_endpoints_per_client"]),
-            ",".join(str(p) for p in metrics.get("ports", [])),
-        ])
-    return table
+    return table_for("endpoints", records)
 
 
 def qoe_table(records: Iterable[CellRecord]) -> TextTable:
     """One row per (platform, motion, N) QoE cell."""
-    table = TextTable(
-        ["Platform", "Motion", "N", "Region", "PSNR (dB)", "SSIM",
-         "Up Mbps", "Down Mbps"]
-    )
-    for record in _ok_records(records, "qoe"):
-        metrics = record.metrics
-        table.add_row([
-            record.params.get("platform", "?"),
-            record.params.get("motion", "?"),
-            record.params.get("participants", "-"),
-            record.params.get("region", "US"),
-            f"{_fmt(metrics['psnr_db']['mean'])} "
-            f"+/- {_fmt(metrics['psnr_db']['std'])}",
-            f"{_fmt(metrics['ssim']['mean'], '.3f')} "
-            f"+/- {_fmt(metrics['ssim']['std'], '.3f')}",
-            _fmt(metrics["upload_mbps"], ".2f"),
-            _fmt(metrics["download_mbps"], ".2f"),
-        ])
-    return table
+    return table_for("qoe", records)
 
 
 def bandwidth_table(records: Iterable[CellRecord]) -> TextTable:
     """One row per (platform, motion, limit) bandwidth cell."""
-    table = TextTable(
-        ["Platform", "Motion", "Limit", "PSNR (dB)", "SSIM", "MOS-LQO",
-         "Down Mbps", "Frozen"]
-    )
-    for record in _ok_records(records, "bandwidth"):
-        metrics = record.metrics
-        table.add_row([
-            record.params.get("platform", "?"),
-            record.params.get("motion", "?"),
-            metrics.get("limit_label", "-"),
-            _fmt(metrics["psnr_db"]),
-            _fmt(metrics["ssim"], ".3f"),
-            _fmt(metrics["mos_lqo"], ".2f"),
-            _fmt(metrics["download_mbps"], ".2f"),
-            metrics.get("frames_frozen", "-"),
-        ])
-    return table
+    return table_for("bandwidth", records)
 
 
 def mobile_table(records: Iterable[CellRecord]) -> TextTable:
     """One row per (platform, scenario, device) mobile reading."""
-    table = TextTable(
-        ["Platform", "Scenario", "N", "Device", "Median CPU %",
-         "Rate (Mbps)", "mAh"]
-    )
-    for record in _ok_records(records, "mobile"):
-        metrics = record.metrics
-        for device, reading in metrics["devices"].items():
-            table.add_row([
-                record.params.get("platform", "?"),
-                record.params.get("scenario", "?"),
-                metrics.get("participants", "-"),
-                device,
-                _fmt(reading["median_cpu_pct"], ".0f"),
-                _fmt(reading["mean_rate_mbps"], ".2f"),
-                _fmt(reading["discharge_mah"], ".2f"),
-            ])
-    return table
+    return table_for("mobile", records)
 
 
 def dynamics_table(records: Iterable[CellRecord]) -> TextTable:
     """One row per (platform, scenario, phase), in timeline order."""
-    table = TextTable(
-        ["Platform", "Scenario", "Phase", "PSNR (dB)", "SSIM",
-         "Down Mbps", "Freeze", "Drops"]
-    )
-    for record in _ok_records(records, "dynamics"):
-        metrics = record.metrics
-        phases = metrics.get("phases", {})
-        for name in metrics.get("phase_order", sorted(phases)):
-            reading = phases[name]
-            table.add_row([
-                record.params.get("platform", "?"),
-                record.params.get("scenario", "?"),
-                name,
-                _fmt(reading["psnr_db"]),
-                _fmt(reading["ssim"], ".3f"),
-                _fmt(reading["download_mbps"], ".2f"),
-                _fmt(reading["freeze_fraction"], ".2f"),
-                reading.get("shaper_dropped", "-"),
-            ])
-    return table
+    return table_for("dynamics", records)
 
 
-#: kind -> table builder, in render order.
+#: kind -> table builder, in render order (kept for compatibility).
 TABLE_BUILDERS = {
-    "lag": lag_table,
-    "endpoints": endpoints_table,
-    "qoe": qoe_table,
-    "bandwidth": bandwidth_table,
-    "mobile": mobile_table,
-    "dynamics": dynamics_table,
+    kind: (lambda records, _kind=kind: table_for(_kind, records))
+    for kind in KIND_TABLES
 }
 
 
-def status_rows(spec: CampaignSpec,
-                records: Sequence[CellRecord]) -> List[List[object]]:
+# --------------------------------------------------------------------- #
+# Progress and report assembly.
+# --------------------------------------------------------------------- #
+
+def status_rows_from_ids(
+    spec: CampaignSpec, ok_ids: Set[str], failed_ids: Set[str]
+) -> List[List[object]]:
     """Per-kind (total, completed, failed, pending) progress rows."""
     cells = spec.expand()
     totals: Counter = Counter(c.kind for c in cells)
-    ok_ids = {r.cell_id for r in records if r.ok}
-    failed_ids = {r.cell_id for r in records if not r.ok} - ok_ids
+    failed_ids = failed_ids - ok_ids
     rows = []
     for kind in KIND_TITLES:
         if kind not in totals:
@@ -201,6 +286,14 @@ def status_rows(spec: CampaignSpec,
     return rows
 
 
+def status_rows(spec: CampaignSpec,
+                records: Sequence[CellRecord]) -> List[List[object]]:
+    """Per-kind progress rows derived from raw records."""
+    ok_ids = {r.cell_id for r in records if r.ok}
+    failed_ids = {r.cell_id for r in records if not r.ok}
+    return status_rows_from_ids(spec, ok_ids, failed_ids)
+
+
 def status_table(spec: CampaignSpec,
                  records: Sequence[CellRecord]) -> TextTable:
     """Progress of a campaign as a table."""
@@ -212,37 +305,21 @@ def status_table(spec: CampaignSpec,
 
 def build_report(spec: CampaignSpec,
                  records: Sequence[CellRecord]) -> ExperimentReport:
-    """A paper-style Markdown report assembled from stored records."""
-    report = ExperimentReport(f"Campaign report: {spec.name}")
-    ok = [r for r in records if r.ok]
-    # A cell that failed and then succeeded on resume is not a
-    # failure; only cells with no ok record count.
-    ok_ids = {r.cell_id for r in ok}
-    failed = [r for r in records if not r.ok and r.cell_id not in ok_ids]
-    runtime = sum(r.duration_s for r in records)
-    report.add_table(
-        "Campaign summary",
-        ["Kind", "Cells", "Completed", "Failed", "Pending"],
-        status_rows(spec, records),
-        notes=[
-            f"spec hash {spec.spec_hash()}, master seed {spec.master_seed}",
-            f"{len(ok)} cells stored, {len(failed)} failures, "
-            f"{runtime:.1f} s of cell runtime",
-        ],
-    )
-    for kind, title in KIND_TITLES.items():
-        if not any(r.kind == kind and r.ok for r in ok):
-            continue
-        report.add_section(title, TABLE_BUILDERS[kind](ok).render())
-    if failed:
-        table = TextTable(["Cell", "Error"])
-        for record in sorted(failed, key=lambda r: r.cell_id):
-            table.add_row([record.cell_id, record.error or "?"])
-        report.add_section("Failures", table.render())
-    return report
+    """A paper-style Markdown report assembled from stored records.
+
+    Folds the records through the streaming aggregator, so a report
+    built incrementally during a run and one built from the store
+    afterwards are the same document.
+    """
+    from .fabric.streaming import StreamingAggregator
+
+    aggregator = StreamingAggregator(spec)
+    for record in records:
+        aggregator.fold(record)
+    return aggregator.build_report()
 
 
 def report_from_store(store_path: str) -> ExperimentReport:
-    """Render the report for a store file, from the store alone."""
-    store = CampaignStore(store_path)
+    """Render the report for any store backend, from the store alone."""
+    store = open_store(store_path)
     return build_report(store.spec(), store.cell_records())

@@ -1,0 +1,54 @@
+"""The distributed campaign fabric.
+
+Everything that turns a campaign spec into a finished store when the
+grid is too big for one process and one sitting:
+
+* :mod:`~repro.campaign.fabric.executors` -- where cells run: inline,
+  a crash-recovering process pool, or N owned local worker processes
+  modeling multi-machine dispatch,
+* :mod:`~repro.campaign.fabric.scheduler` -- sharding, dispatch,
+  per-cell retry budgets, timeouts, durable checkpoints,
+* :mod:`~repro.campaign.fabric.streaming` -- incremental folding of
+  arriving records into live paper tables and progress,
+* :mod:`~repro.campaign.fabric.watch` -- read-only live status over
+  any store backend,
+* :mod:`~repro.campaign.fabric.selfcheck` -- the kill/resume
+  equivalence proof CI runs per backend.
+"""
+
+from .executors import (
+    EXECUTORS,
+    CellDone,
+    ExecutorBase,
+    InlineExecutor,
+    LocalWorkerFabricExecutor,
+    ProcessPoolFabricExecutor,
+    UnitFailed,
+    WorkUnit,
+    make_executor,
+)
+from .scheduler import CampaignScheduler, FabricConfig
+from .selfcheck import SelfCheckResult, run_all_selfchecks, run_selfcheck
+from .streaming import ProgressSnapshot, StreamingAggregator
+from .watch import render_snapshot, watch_store
+
+__all__ = [
+    "EXECUTORS",
+    "CampaignScheduler",
+    "CellDone",
+    "ExecutorBase",
+    "FabricConfig",
+    "InlineExecutor",
+    "LocalWorkerFabricExecutor",
+    "ProcessPoolFabricExecutor",
+    "ProgressSnapshot",
+    "SelfCheckResult",
+    "StreamingAggregator",
+    "UnitFailed",
+    "WorkUnit",
+    "make_executor",
+    "render_snapshot",
+    "run_all_selfchecks",
+    "run_selfcheck",
+    "watch_store",
+]

@@ -1,0 +1,438 @@
+"""Executor abstraction: where and how work units actually run.
+
+The scheduler speaks one protocol -- ``submit(WorkUnit)`` then
+``poll()`` for events -- and three executors implement it:
+
+* :class:`InlineExecutor` -- every cell in-process (pure, debuggable,
+  no forks; the ``workers == 1`` path).
+* :class:`ProcessPoolFabricExecutor` -- a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with crash
+  recovery: a dead worker (OOM, segfault, SIGKILL) surfaces as
+  ``UnitFailed`` events for the in-flight units and a fresh pool,
+  never as an exception that aborts the campaign.
+* :class:`LocalWorkerFabricExecutor` -- N long-lived worker processes
+  the executor owns outright, fed one unit at a time over per-worker
+  queues with per-cell progress reporting.  This is the shape of
+  multi-machine dispatch: the parent knows exactly which unit each
+  worker holds, detects death by liveness (not by a shared pool
+  breaking), enforces per-cell timeouts by killing the worker, and
+  requeues only the cells the worker never reported.
+
+Executors never decide policy: they report what happened and the
+scheduler owns retries, error records and checkpointing.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+import multiprocessing
+
+from ...errors import CampaignError
+from ..runner import execute_cell, execute_unit
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shard of the grid: the unit executors dispatch and retry."""
+
+    unit_id: int
+    payloads: "tuple[Dict[str, Any], ...]"
+
+
+@dataclass(frozen=True)
+class CellDone:
+    """One cell finished (ok or error-status record payload)."""
+
+    unit_id: int
+    result: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class UnitFailed:
+    """A unit's executor died under it (crash/timeout), not the cell.
+
+    ``pending`` holds the payloads that produced no result; the
+    scheduler requeues or error-records them by retry budget.
+    """
+
+    unit_id: int
+    pending: "tuple[Dict[str, Any], ...]"
+    reason: str
+
+
+Event = Any
+
+
+class ExecutorBase:
+    """Common surface: submit units, poll events, shut down."""
+
+    name = "base"
+
+    def __init__(self, workers: int = 1,
+                 cell_timeout_s: Optional[float] = None) -> None:
+        self.workers = max(1, int(workers))
+        self.cell_timeout_s = cell_timeout_s
+
+    def start(self) -> None:
+        """Allocate worker resources."""
+
+    def submit(self, unit: WorkUnit) -> None:
+        """Enqueue one unit for execution."""
+        raise NotImplementedError
+
+    def poll(self, timeout: float = 0.25) -> List[Event]:
+        """Wait up to ``timeout`` seconds and return new events."""
+        raise NotImplementedError
+
+    def outstanding(self) -> int:
+        """Units submitted but not yet fully reported."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release worker resources (idempotent)."""
+
+
+class InlineExecutor(ExecutorBase):
+    """Run every cell in the calling process."""
+
+    name = "inline"
+
+    def __init__(self, workers: int = 1,
+                 cell_timeout_s: Optional[float] = None) -> None:
+        super().__init__(workers=1, cell_timeout_s=cell_timeout_s)
+        self._queue: Deque[WorkUnit] = deque()
+
+    def submit(self, unit: WorkUnit) -> None:
+        self._queue.append(unit)
+
+    def poll(self, timeout: float = 0.25) -> List[Event]:
+        if not self._queue:
+            return []
+        unit = self._queue.popleft()
+        return [
+            CellDone(unit.unit_id, execute_cell(payload))
+            for payload in unit.payloads
+        ]
+
+    def outstanding(self) -> int:
+        return len(self._queue)
+
+
+@dataclass
+class _TrackedFuture:
+    unit: WorkUnit
+    running_since: Optional[float] = None
+
+
+class ProcessPoolFabricExecutor(ExecutorBase):
+    """Process-pool execution with worker-crash recovery.
+
+    ``concurrent.futures`` poisons *every* outstanding future with
+    :class:`BrokenProcessPool` when any worker dies; this executor
+    converts that into per-unit ``UnitFailed`` events and transparently
+    rebuilds the pool, so one OOM-killed cell costs one retry, not a
+    48-hour campaign.
+    """
+
+    name = "pool"
+
+    def __init__(self, workers: int = 2,
+                 cell_timeout_s: Optional[float] = None) -> None:
+        super().__init__(workers=workers, cell_timeout_s=cell_timeout_s)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._futures: Dict[Any, _TrackedFuture] = {}
+
+    def start(self) -> None:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def submit(self, unit: WorkUnit) -> None:
+        self.start()
+        future = self._pool.submit(execute_unit, list(unit.payloads))
+        self._futures[future] = _TrackedFuture(unit)
+
+    def _fail_outstanding(self, reason: str) -> List[Event]:
+        events: List[Event] = [
+            UnitFailed(t.unit.unit_id, t.unit.payloads, reason)
+            for t in self._futures.values()
+        ]
+        self._futures.clear()
+        return events
+
+    def _rebuild_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # Reach into the pool to kill stuck workers before the
+            # fresh pool starts; shutdown() alone would block on (or
+            # leak) a worker that is looping or hung.
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.kill()
+                except Exception:  # noqa: BLE001 - best-effort teardown
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        self.start()
+
+    def poll(self, timeout: float = 0.25) -> List[Event]:
+        if not self._futures:
+            return []
+        done, _ = wait(
+            set(self._futures), timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        events: List[Event] = []
+        broken = False
+        for future in done:
+            tracked = self._futures.pop(future)
+            unit = tracked.unit
+            try:
+                results = future.result()
+            except BrokenProcessPool:
+                broken = True
+                events.append(
+                    UnitFailed(unit.unit_id, unit.payloads,
+                               "worker process died")
+                )
+            except Exception as exc:  # noqa: BLE001 - executor fault
+                events.append(
+                    UnitFailed(unit.unit_id, unit.payloads,
+                               f"executor failure: {exc}")
+                )
+            else:
+                events.extend(
+                    CellDone(unit.unit_id, result) for result in results
+                )
+        if broken:
+            events.extend(self._fail_outstanding("worker process died"))
+            self._rebuild_pool()
+            return events
+        if self.cell_timeout_s is not None:
+            now = time.monotonic()
+            expired = False
+            for future, tracked in self._futures.items():
+                if future.running() and tracked.running_since is None:
+                    tracked.running_since = now
+                if (
+                    tracked.running_since is not None
+                    and now - tracked.running_since > self.cell_timeout_s
+                ):
+                    expired = True
+            if expired:
+                # One shared pool: killing the stuck worker kills the
+                # pool, so every in-flight unit restarts on the fresh
+                # one (their completed cells were already reported).
+                events.extend(self._fail_outstanding(
+                    f"cell timeout after {self.cell_timeout_s:.1f}s "
+                    "(pool reset)"
+                ))
+                self._rebuild_pool()
+        return events
+
+    def outstanding(self) -> int:
+        return len(self._futures)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._futures.clear()
+
+
+def _local_worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker loop: pull a unit, report per-cell progress, repeat.
+
+    Runs in a child process.  The ``claim`` message before each cell is
+    what lets the parent requeue precisely the unreported cells when
+    this process dies mid-unit.
+    """
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        unit_id, payloads = item
+        for payload in payloads:
+            result_queue.put(("claim", worker_id, unit_id,
+                              payload["cell_id"]))
+            record = execute_cell(payload)
+            result_queue.put(("done", worker_id, unit_id, record))
+        result_queue.put(("unit-done", worker_id, unit_id, None))
+
+
+@dataclass
+class _WorkerSlot:
+    worker_id: int
+    process: Any
+    task_queue: Any
+    unit: Optional[WorkUnit] = None
+    reported: "set[str]" = field(default_factory=set)
+    last_progress: float = 0.0
+
+
+class LocalWorkerFabricExecutor(ExecutorBase):
+    """N owned worker processes fed one unit at a time.
+
+    Models multi-machine dispatch locally: explicit per-worker
+    assignment (the parent always knows which unit each worker holds),
+    liveness-based crash detection, per-cell timeouts enforced by
+    killing the worker, and a replacement worker spawned in its slot.
+    """
+
+    name = "spawn"
+
+    def __init__(self, workers: int = 2,
+                 cell_timeout_s: Optional[float] = None) -> None:
+        super().__init__(workers=workers, cell_timeout_s=cell_timeout_s)
+        self._ctx = multiprocessing.get_context()
+        self._result_queue = None
+        self._slots: List[_WorkerSlot] = []
+        self._pending: Deque[WorkUnit] = deque()
+        self._next_worker_id = 0
+
+    def start(self) -> None:
+        if self._result_queue is None:
+            self._result_queue = self._ctx.Queue()
+            self._slots = [self._spawn_slot() for _ in range(self.workers)]
+
+    def _spawn_slot(self) -> _WorkerSlot:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_local_worker_main,
+            args=(worker_id, task_queue, self._result_queue),
+            daemon=True,
+        )
+        process.start()
+        return _WorkerSlot(worker_id=worker_id, process=process,
+                           task_queue=task_queue)
+
+    def _slot_by_worker(self, worker_id: int) -> Optional[_WorkerSlot]:
+        for slot in self._slots:
+            if slot.worker_id == worker_id:
+                return slot
+        return None  # a replaced worker's stale message
+
+    def submit(self, unit: WorkUnit) -> None:
+        self.start()
+        self._pending.append(unit)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        for slot in self._slots:
+            if not self._pending:
+                return
+            if slot.unit is None and slot.process.is_alive():
+                unit = self._pending.popleft()
+                slot.unit = unit
+                slot.reported = set()
+                slot.last_progress = time.monotonic()
+                slot.task_queue.put((unit.unit_id, list(unit.payloads)))
+
+    def _drain(self, timeout: float) -> List[Event]:
+        events: List[Event] = []
+        block = timeout
+        while True:
+            try:
+                message = self._result_queue.get(timeout=block)
+            except queue_module.Empty:
+                return events
+            block = 0.0  # drain whatever else is ready without waiting
+            tag, worker_id, unit_id, body = message
+            slot = self._slot_by_worker(worker_id)
+            if tag == "claim":
+                if slot is not None:
+                    slot.last_progress = time.monotonic()
+            elif tag == "done":
+                events.append(CellDone(unit_id, body))
+                if slot is not None:
+                    slot.reported.add(body["cell_id"])
+                    slot.last_progress = time.monotonic()
+            elif tag == "unit-done":
+                if slot is not None and slot.unit is not None \
+                        and slot.unit.unit_id == unit_id:
+                    slot.unit = None
+
+    def poll(self, timeout: float = 0.25) -> List[Event]:
+        self.start()
+        events = self._drain(timeout)
+        now = time.monotonic()
+        for index, slot in enumerate(self._slots):
+            reason = None
+            if not slot.process.is_alive():
+                reason = "worker process died"
+            elif (
+                slot.unit is not None
+                and self.cell_timeout_s is not None
+                and now - slot.last_progress > self.cell_timeout_s
+            ):
+                reason = (
+                    f"cell timeout after {self.cell_timeout_s:.1f}s "
+                    "(worker killed)"
+                )
+                slot.process.kill()
+                slot.process.join(timeout=5.0)
+            if reason is None:
+                continue
+            if slot.unit is not None:
+                pending = tuple(
+                    payload for payload in slot.unit.payloads
+                    if payload["cell_id"] not in slot.reported
+                )
+                events.append(
+                    UnitFailed(slot.unit.unit_id, pending, reason)
+                )
+            self._slots[index] = self._spawn_slot()
+        self._dispatch()
+        return events
+
+    def outstanding(self) -> int:
+        return len(self._pending) + sum(
+            1 for slot in self._slots if slot.unit is not None
+        )
+
+    def shutdown(self) -> None:
+        for slot in self._slots:
+            if slot.process.is_alive():
+                try:
+                    slot.task_queue.put(None)
+                except Exception:  # noqa: BLE001 - best-effort teardown
+                    pass
+        for slot in self._slots:
+            slot.process.join(timeout=1.0)
+            if slot.process.is_alive():
+                slot.process.kill()
+        self._slots = []
+        self._pending.clear()
+        if self._result_queue is not None:
+            self._result_queue.close()
+            self._result_queue = None
+
+
+#: executor name -> class; ``auto`` resolves by worker count.
+EXECUTORS = {
+    InlineExecutor.name: InlineExecutor,
+    ProcessPoolFabricExecutor.name: ProcessPoolFabricExecutor,
+    LocalWorkerFabricExecutor.name: LocalWorkerFabricExecutor,
+}
+
+
+def make_executor(name: str, workers: int,
+                  cell_timeout_s: Optional[float] = None) -> ExecutorBase:
+    """Build the executor for a run (``auto`` picks by worker count)."""
+    if name == "auto":
+        name = InlineExecutor.name if workers <= 1 \
+            else ProcessPoolFabricExecutor.name
+    try:
+        cls = EXECUTORS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown executor {name!r}; expected one of "
+            f"{('auto',) + tuple(EXECUTORS)}"
+        ) from None
+    return cls(workers=workers, cell_timeout_s=cell_timeout_s)

@@ -1,0 +1,304 @@
+"""The sharded campaign scheduler: dispatch, retry, checkpoint, fold.
+
+:class:`CampaignScheduler` owns everything between a
+:class:`~repro.campaign.spec.CampaignSpec` and a finished store:
+
+* expands the grid, subtracts completed cells, shards the remainder
+  into :class:`~repro.campaign.fabric.executors.WorkUnit`\\ s sized for
+  the executor,
+* dispatches through any :class:`ExecutorBase` and folds events --
+  cells append to the store *as they arrive*, unit failures (worker
+  crash, timeout) consume one retry attempt per pending cell and
+  requeue,
+* exhausted retry budgets become synthesized error records, so the
+  campaign always terminates with one final outcome per cell,
+* persists a checkpoint sidecar (attempt counts) atomically alongside
+  the store, so ``--resume`` after a SIGKILL continues mid-grid with
+  the retry budget intact,
+* streams every record through a
+  :class:`~repro.campaign.fabric.streaming.StreamingAggregator`, so
+  paper tables and progress are live during the run.
+
+Determinism contract: cell content depends only on the spec (derived
+seeds), never on sharding, executor choice, retries or interleaving --
+which is what makes a killed-and-resumed store bit-identical in cell
+content to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ...errors import CampaignError
+from ..runner import CampaignRunSummary, ProgressFn, _cell_payload
+from ..spec import CampaignSpec
+from ..store import DurabilityPolicy, CellRecord
+from ..stores import open_store
+from .executors import CellDone, UnitFailed, WorkUnit, make_executor
+from .streaming import StreamingAggregator
+
+#: Checkpoint sidecar name (lives next to / inside the store).
+CHECKPOINT_NAME = "fabric.json"
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Scheduling policy for one campaign run.
+
+    Attributes:
+        workers: Worker count (``1`` stays in-process).
+        executor: ``auto``, ``inline``, ``pool`` or ``spawn``.
+        shard_size: Cells per work unit (``None``: sized per executor
+            -- single-cell units for inline/pool, coarser shards for
+            spawn workers to amortise queue round-trips).
+        max_attempts: Attempts per cell before a synthesized error
+            record.
+        cell_timeout_s: Per-cell wall-clock budget (``None``: no
+            timeout).
+        durability: Store durability policy (``None``: fsync every
+            record).
+        shards: Shard count for the sharded-directory backend.
+        poll_interval_s: Executor poll granularity.
+        checkpoint_every: Events between checkpoint writes.
+    """
+
+    workers: int = 1
+    executor: str = "auto"
+    shard_size: Optional[int] = None
+    max_attempts: int = 2
+    cell_timeout_s: Optional[float] = None
+    durability: "DurabilityPolicy | int | None" = None
+    shards: Optional[int] = None
+    poll_interval_s: float = 0.25
+    checkpoint_every: int = 8
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise CampaignError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.max_attempts < 1:
+            raise CampaignError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.shard_size is not None and self.shard_size < 1:
+            raise CampaignError(
+                f"shard_size must be >= 1, got {self.shard_size}"
+            )
+
+    def resolve_shard_size(self, pending: int) -> int:
+        """Cells per unit for this run.
+
+        Inline and pool executors take single-cell units: results land
+        (and persist) per cell, and the pool already amortises dispatch.
+        Spawn workers pay a queue round-trip per unit, so they get
+        coarser shards -- about four units per worker across the run,
+        capped so one unit never monopolises a worker.
+        """
+        if self.shard_size is not None:
+            return self.shard_size
+        if self.executor == "spawn":
+            per_worker = max(1, pending // (self.workers * 4))
+            return min(per_worker, 16)
+        return 1
+
+
+class CampaignScheduler:
+    """Run one campaign spec to completion against a store."""
+
+    def __init__(self, spec: CampaignSpec, store_path: str,
+                 config: Optional[FabricConfig] = None) -> None:
+        self.spec = spec
+        self.store_path = store_path
+        self.config = config or FabricConfig()
+        #: Live aggregate of every record this run has seen (including
+        #: records folded from the store on resume).
+        self.aggregator = StreamingAggregator(spec)
+        self._attempts: Dict[str, int] = {}
+        self._events_since_checkpoint = 0
+
+    # -- checkpointing ---------------------------------------------------
+
+    def _checkpoint_path(self, store: Any) -> str:
+        return store.sidecar_path(CHECKPOINT_NAME)
+
+    def _load_checkpoint(self, store: Any) -> None:
+        path = self._checkpoint_path(store)
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                state = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return  # a torn checkpoint costs only retry-budget memory
+        if state.get("spec_hash") != self.spec.spec_hash():
+            return
+        attempts = state.get("attempts", {})
+        if isinstance(attempts, dict):
+            self._attempts = {
+                str(cell_id): int(count)
+                for cell_id, count in attempts.items()
+            }
+
+    def _save_checkpoint(self, store: Any) -> None:
+        path = self._checkpoint_path(store)
+        state = {
+            "spec_hash": self.spec.spec_hash(),
+            "attempts": self._attempts,
+            "updated_at": time.time(),
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(state, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self._events_since_checkpoint = 0
+
+    def _clear_checkpoint(self, store: Any) -> None:
+        try:
+            os.remove(self._checkpoint_path(store))
+        except OSError:
+            pass
+
+    # -- the run ---------------------------------------------------------
+
+    def run(self, resume: bool = False,
+            progress: Optional[ProgressFn] = None) -> CampaignRunSummary:
+        """Execute the campaign; see :func:`repro.campaign.run_campaign`."""
+        config = self.config
+        store = open_store(
+            self.store_path, durability=config.durability,
+            shards=config.shards,
+        )
+        completed: set = set()
+        if store.exists():
+            if not resume:
+                raise CampaignError(
+                    f"store {self.store_path!r} already holds a campaign; "
+                    "resume it (--resume / resume=True) to extend it, or "
+                    "choose a new path"
+                )
+            store.verify_spec(self.spec)
+            completed = store.completed_ids()
+            self.aggregator.seed(store.cell_records())
+            self._load_checkpoint(store)
+        else:
+            store.initialise(self.spec)
+
+        cells = self.spec.expand()
+        spec_hash = self.spec.spec_hash()
+        pending = [c for c in cells if c.cell_id not in completed]
+        summary = CampaignRunSummary(
+            total=len(cells),
+            skipped=len(cells) - len(pending),
+            executed=0,
+            failed=0,
+            duration_s=0.0,
+        )
+        start = time.perf_counter()
+
+        def record_result(payload: Dict[str, Any]) -> None:
+            record = CellRecord.from_dict({"type": "cell", **payload})
+            store.append_cell(record)
+            self.aggregator.fold(record)
+            summary.records.append(record)
+            summary.executed += 1
+            if not record.ok:
+                summary.failed += 1
+            if progress is not None:
+                progress(record, summary.skipped + summary.executed,
+                         len(cells))
+
+        try:
+            if pending:
+                self._dispatch_loop(
+                    store, pending, spec_hash, record_result, summary
+                )
+            if summary.completed == summary.total:
+                self._clear_checkpoint(store)
+            else:
+                self._save_checkpoint(store)
+        finally:
+            store.close()
+        summary.duration_s = time.perf_counter() - start
+        return summary
+
+    def _dispatch_loop(self, store: Any, pending: List[Any],
+                       spec_hash: str, record_result: Any,
+                       summary: CampaignRunSummary) -> None:
+        config = self.config
+        executor = make_executor(
+            config.executor, config.workers, config.cell_timeout_s
+        )
+        shard_size = config.resolve_shard_size(len(pending))
+        next_unit_id = 0
+
+        def submit(payloads: List[Dict[str, Any]]) -> None:
+            nonlocal next_unit_id
+            for index in range(0, len(payloads), shard_size):
+                executor.submit(WorkUnit(
+                    unit_id=next_unit_id,
+                    payloads=tuple(payloads[index:index + shard_size]),
+                ))
+                next_unit_id += 1
+
+        try:
+            executor.start()
+            submit([
+                _cell_payload(cell, self.spec, spec_hash)
+                for cell in pending
+            ])
+            while executor.outstanding():
+                events = executor.poll(config.poll_interval_s)
+                requeue: List[Dict[str, Any]] = []
+                for event in events:
+                    self._events_since_checkpoint += 1
+                    if isinstance(event, CellDone):
+                        record_result(event.result)
+                    elif isinstance(event, UnitFailed):
+                        requeue.extend(
+                            self._absorb_failure(event, record_result,
+                                                 summary)
+                        )
+                if requeue:
+                    submit(requeue)
+                if self._events_since_checkpoint >= config.checkpoint_every:
+                    self._save_checkpoint(store)
+        finally:
+            executor.shutdown()
+
+    def _absorb_failure(self, event: UnitFailed, record_result: Any,
+                        summary: CampaignRunSummary
+                        ) -> List[Dict[str, Any]]:
+        """Spend one attempt per pending cell; requeue or error out."""
+        requeue: List[Dict[str, Any]] = []
+        for payload in event.pending:
+            cell_id = payload["cell_id"]
+            attempts = self._attempts.get(cell_id, 0) + 1
+            self._attempts[cell_id] = attempts
+            if attempts < self.config.max_attempts:
+                summary.retried += 1
+                requeue.append(payload)
+            else:
+                record_result({
+                    "cell_id": cell_id,
+                    "kind": payload["kind"],
+                    "params": dict(payload["params"]),
+                    "seed": int(payload["seed"]),
+                    "spec_hash": payload["spec_hash"],
+                    "status": "error",
+                    "metrics": None,
+                    "error": (
+                        f"fabric: {event.reason} "
+                        f"(attempt {attempts}/{self.config.max_attempts})"
+                    ),
+                    "duration_s": 0.0,
+                    "finished_at": time.time(),
+                    "worker": 0,
+                })
+        return requeue

@@ -1,0 +1,244 @@
+"""Kill/resume equivalence self-check.
+
+The fabric's core durability claim: a campaign whose parent process is
+SIGKILLed mid-grid (and whose workers crash along the way) and is then
+resumed produces a store *identical in cell content* to an
+uninterrupted run -- same cells, same seeds, same metrics -- on every
+store backend.
+
+:func:`run_selfcheck` proves it end to end, per backend:
+
+1. **Reference** -- run a paced calibration grid inline, in this
+   process, into a scratch JSONL store.  The grid's worker-crash cell
+   flags are pre-created so nothing actually crashes here.
+2. **Interrupted** -- run the *same spec* as a real
+   ``python -m repro campaign run`` subprocess (pool executor, crash
+   flags absent so one worker SIGKILLs itself mid-run), poll the store,
+   and SIGKILL the whole run once ``kill_after`` cells have landed.
+3. **Resume** -- run the subprocess again with ``--resume`` and let it
+   finish.
+4. **Compare** -- latest-ok content keys per cell
+   (:meth:`~repro.campaign.store.CellRecord.content_key`, which
+   excludes wall-clock fields and pids) must match the reference
+   exactly.
+
+CI runs this for all three backends; the tier-1 suite keeps the two
+cheap ones.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ...errors import CampaignError
+from ..grids import calibration_campaign
+from ..runner import run_campaign
+from ..spec import CampaignSpec
+from ..stores import BACKENDS, open_store
+
+#: backend name -> store basename the backend resolver maps back.
+STORE_NAMES = {
+    "jsonl": "store.jsonl",
+    "sqlite": "store.sqlite",
+    "shards": "store.shards",
+}
+
+
+@dataclass
+class SelfCheckResult:
+    """Outcome of one backend's kill/resume equivalence check.
+
+    Attributes:
+        backend: Store backend exercised.
+        total: Cells in the calibration grid.
+        ok_at_kill: Completed cells observed when SIGKILL was sent.
+        killed_mid_grid: Whether the kill landed before completion.
+        resumed_executed: Cells the resumed run still had to execute.
+        mismatches: Human-readable content differences (empty = pass).
+    """
+
+    backend: str
+    total: int
+    ok_at_kill: int
+    killed_mid_grid: bool
+    resumed_executed: int
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the interrupted store matched the reference."""
+        return not self.mismatches
+
+
+def _ok_content(store_path: str) -> Dict[str, Tuple]:
+    """Latest-ok content key per cell id in a store."""
+    store = open_store(store_path)
+    latest: Dict[str, Tuple] = {}
+    for record in store.cell_records():
+        if record.ok:
+            latest[record.cell_id] = record.content_key()
+    return latest
+
+
+def _subprocess_env() -> Dict[str, str]:
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _run_cli(spec_path: str, store_path: str, resume: bool,
+             env: Dict[str, str]) -> subprocess.Popen:
+    command = [
+        sys.executable, "-m", "repro", "campaign", "run",
+        "--spec-json", spec_path, "--store", store_path,
+        "--workers", "2", "--executor", "pool", "--max-attempts", "3",
+    ]
+    if resume:
+        command.append("--resume")
+    return subprocess.Popen(
+        command, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def _poll_ok_count(store_path: str) -> int:
+    try:
+        store = open_store(store_path)
+        if not store.exists():
+            return 0
+        return len(store.completed_ids())
+    except (CampaignError, OSError):
+        return 0  # store not written yet (or mid-write lock)
+
+
+def run_selfcheck(
+    backend: str,
+    workdir: str,
+    cells: int = 14,
+    spin_ms: float = 40.0,
+    kill_after: int = 4,
+    deadline_s: float = 120.0,
+) -> SelfCheckResult:
+    """Prove kill/resume equivalence for one store backend.
+
+    Args:
+        backend: ``jsonl``, ``sqlite`` or ``shards``.
+        workdir: Scratch directory (created if missing).
+        cells: Plain no-op cells in the calibration grid (one
+            worker-crash cell is added on top).
+        spin_ms: Busy-wait per cell, pacing the grid so the SIGKILL
+            lands mid-flight.
+        kill_after: Completed cells to wait for before killing.
+        deadline_s: Per-subprocess wall-clock budget.
+
+    Returns:
+        A :class:`SelfCheckResult`; ``result.ok`` is the verdict.
+
+    Raises:
+        CampaignError: Unknown backend, or a subprocess misbehaved in
+            a way that voids the comparison (resume failed outright).
+    """
+    if backend not in BACKENDS:
+        raise CampaignError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{tuple(BACKENDS)}"
+        )
+    os.makedirs(workdir, exist_ok=True)
+    crash_flag = os.path.join(workdir, "crash.flag")
+    spec = calibration_campaign(
+        cells=cells, spin_ms=spin_ms, crash_flags=(crash_flag,),
+        name=f"selfcheck-{backend}",
+    )
+
+    # 1. Reference: inline, uninterrupted.  Pre-create the crash flag
+    # so the crash cell runs its ordinary path in *this* process.
+    with open(crash_flag, "w", encoding="utf-8") as handle:
+        handle.write("reference\n")
+    reference_store = os.path.join(workdir, "reference.jsonl")
+    run_campaign(spec, reference_store, workers=1)
+    reference = _ok_content(reference_store)
+    os.remove(crash_flag)  # the subprocess run must actually crash
+
+    # 2. Interrupted run: real CLI subprocess, SIGKILLed mid-grid.
+    spec_path = os.path.join(workdir, "spec.json")
+    spec.save(spec_path)
+    store_path = os.path.join(workdir, STORE_NAMES[backend])
+    env = _subprocess_env()
+    child = _run_cli(spec_path, store_path, resume=False, env=env)
+    deadline = time.monotonic() + deadline_s
+    ok_at_kill = 0
+    killed = False
+    while child.poll() is None:
+        if time.monotonic() > deadline:
+            child.kill()
+            child.wait()
+            raise CampaignError(
+                f"selfcheck[{backend}]: interrupted run exceeded "
+                f"{deadline_s:.0f}s"
+            )
+        ok_at_kill = _poll_ok_count(store_path)
+        if ok_at_kill >= kill_after:
+            os.kill(child.pid, signal.SIGKILL)
+            killed = True
+            break
+        time.sleep(0.05)
+    child.wait()
+
+    # 3. Resume to completion.
+    resumed = _run_cli(spec_path, store_path, resume=True, env=env)
+    try:
+        output, _ = resumed.communicate(timeout=deadline_s)
+    except subprocess.TimeoutExpired:
+        resumed.kill()
+        resumed.communicate()
+        raise CampaignError(
+            f"selfcheck[{backend}]: resume exceeded {deadline_s:.0f}s"
+        ) from None
+    if resumed.returncode != 0:
+        raise CampaignError(
+            f"selfcheck[{backend}]: resume exited "
+            f"{resumed.returncode}:\n{output}"
+        )
+
+    # 4. Compare content keys, cell for cell.
+    interrupted = _ok_content(store_path)
+    mismatches: List[str] = []
+    for cell_id in sorted(set(reference) | set(interrupted)):
+        ref = reference.get(cell_id)
+        got = interrupted.get(cell_id)
+        if ref is None:
+            mismatches.append(f"{cell_id}: extra cell in resumed store")
+        elif got is None:
+            mismatches.append(f"{cell_id}: missing from resumed store")
+        elif ref != got:
+            mismatches.append(
+                f"{cell_id}: content differs\n  reference: {ref}\n"
+                f"  resumed:   {got}"
+            )
+    resumed_executed = spec.cell_count() - ok_at_kill
+    return SelfCheckResult(
+        backend=backend,
+        total=spec.cell_count(),
+        ok_at_kill=ok_at_kill,
+        killed_mid_grid=killed,
+        resumed_executed=max(0, resumed_executed),
+        mismatches=mismatches,
+    )
+
+
+def run_all_selfchecks(workdir: str, **kwargs: object) -> List[SelfCheckResult]:
+    """Run the kill/resume check for every registered backend."""
+    return [
+        run_selfcheck(backend, os.path.join(workdir, backend), **kwargs)
+        for backend in BACKENDS
+    ]

@@ -1,0 +1,100 @@
+"""Live campaign status: tail any store backend, read-only.
+
+``repro campaign watch <store>`` attaches to a store that another
+process is writing -- JSONL file, sqlite database or sharded directory
+-- and folds newly-appended records through a
+:class:`~repro.campaign.fabric.streaming.StreamingAggregator`,
+printing throughput, ETA, per-kind progress and recent failures on
+each tick.  With ``--report`` it also keeps a Markdown report file
+refreshed in place, so the paper tables grow live during a 48-hour
+run.
+
+Watching never writes to the store: backends only hand out read
+handles for :meth:`tail`, and the cursor is backend-opaque (a byte
+offset, a sqlite sequence number, a per-shard offset map).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+from ...analysis.report import ExperimentReport
+from ..stores import open_store
+from .streaming import ProgressSnapshot, StreamingAggregator
+
+
+def render_snapshot(snapshot: ProgressSnapshot) -> str:
+    """One status block for a terminal tick."""
+    rate = (
+        f"{snapshot.cells_per_s:.1f} cells/s" if snapshot.cells_per_s
+        else "rate n/a"
+    )
+    eta = (
+        f"ETA {snapshot.eta_s:.0f}s" if snapshot.eta_s is not None
+        else "ETA n/a"
+    )
+    lines = [
+        f"campaign {snapshot.name!r} [{snapshot.spec_hash[:12]}]: "
+        f"{snapshot.ok}/{snapshot.total} ok, {snapshot.failed} failed, "
+        f"{snapshot.pending} pending | {rate}, {eta} | "
+        f"{snapshot.runtime_s:.1f}s cell runtime"
+    ]
+    for kind, total, done, failed, pend in snapshot.kind_rows:
+        lines.append(
+            f"  {kind:<10} {done}/{total} done, {failed} failed, "
+            f"{pend} pending"
+        )
+    for cell_id, error in snapshot.recent_failures:
+        lines.append(f"  ! {cell_id}: {error}")
+    return "\n".join(lines)
+
+
+def watch_store(
+    store_path: str,
+    interval_s: float = 1.0,
+    once: bool = False,
+    report_path: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+    max_ticks: Optional[int] = None,
+) -> ProgressSnapshot:
+    """Tail a store until its campaign completes (or ``once``).
+
+    Args:
+        store_path: Any store backend path/URI; must exist already.
+        interval_s: Seconds between polls.
+        once: Render a single snapshot and return (status check).
+        report_path: Keep a Markdown report refreshed here each tick
+            that brought new records.
+        stream: Where status blocks go (default stdout).
+        max_ticks: Stop after this many polls even if incomplete
+            (mainly for tests and bounded CI watches).
+
+    Returns:
+        The final :class:`ProgressSnapshot` observed.
+    """
+    out = stream if stream is not None else sys.stdout
+    store = open_store(store_path)
+    spec = store.spec()  # raises CampaignError if the store is missing
+    aggregator = StreamingAggregator(spec)
+    report: Optional[ExperimentReport] = None
+    if report_path is not None:
+        report = ExperimentReport(f"Campaign report: {spec.name}")
+    cursor: Any = None
+    ticks = 0
+    while True:
+        records, cursor = store.tail(cursor)
+        for record in records:
+            aggregator.fold(record)
+        snapshot = aggregator.snapshot()
+        print(render_snapshot(snapshot), file=out, flush=True)
+        if report is not None and (records or ticks == 0):
+            aggregator.refresh_report(report)
+            report.save(report_path)
+        ticks += 1
+        if once or snapshot.complete:
+            return snapshot
+        if max_ticks is not None and ticks >= max_ticks:
+            return snapshot
+        time.sleep(interval_s)

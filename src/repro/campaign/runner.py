@@ -1,14 +1,22 @@
 """Campaign execution: parallel, persistent, resumable.
 
-The runner expands a :class:`CampaignSpec` into cells, subtracts the
-cells already completed in the store (``resume``), and executes the
-remainder -- in-process when ``workers == 1`` (pure, debuggable, no
-forks) or across a :class:`~concurrent.futures.ProcessPoolExecutor`
-otherwise.  Each cell is dispatched through the adapter registry with
-the scale reseeded to the cell's derived seed, so results are identical
-whether a cell runs serially, in a pool, today or in a resumed run next
-week.  Only the parent process writes to the store: workers return
-plain dicts and the parent appends records as futures complete.
+:func:`run_campaign` expands a :class:`CampaignSpec` into cells,
+subtracts the cells already completed in the store (``resume``), and
+executes the remainder through the campaign fabric
+(:mod:`repro.campaign.fabric`): cells are sharded into work units and
+dispatched through an executor -- in-process when ``workers == 1``
+(pure, debuggable, no forks), a crash-recovering process pool, or N
+owned local worker processes modeling multi-machine dispatch.  Each
+cell runs with the scale reseeded to the cell's derived seed, so
+results are identical whether a cell runs serially, in a pool, today
+or in a resumed run next week.  Only the parent process writes to the
+store: workers return plain dicts and the parent appends records as
+they arrive.
+
+This module keeps the cell-level primitives (:func:`execute_cell`,
+:func:`execute_unit`) that workers actually run; scheduling policy --
+retries, timeouts, checkpoints, streaming aggregation -- lives in
+:class:`repro.campaign.fabric.CampaignScheduler`.
 """
 
 from __future__ import annotations
@@ -16,15 +24,14 @@ from __future__ import annotations
 import os
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..errors import CampaignError
 from ..experiments.scale import ExperimentScale
 from .registry import get_adapter
 from .spec import CampaignCell, CampaignSpec
-from .store import CampaignStore, CellRecord
+from .store import DurabilityPolicy, CellRecord
 
 #: Progress callback: (record, done_count, total_count).
 ProgressFn = Callable[[CellRecord, int, int], None]
@@ -38,9 +45,11 @@ class CampaignRunSummary:
         total: Cells in the spec's expansion.
         skipped: Cells already complete in the store (resume).
         executed: Cells run by this invocation.
-        failed: Executed cells that ended in error.
+        failed: Executed cells whose final outcome is an error.
         duration_s: Wall-clock time of this invocation.
         records: The records appended by this invocation.
+        retried: Cell attempts beyond the first (crashes, timeouts,
+            requeues) absorbed by the fabric.
     """
 
     total: int
@@ -49,6 +58,7 @@ class CampaignRunSummary:
     failed: int
     duration_s: float
     records: List[CellRecord] = field(default_factory=list)
+    retried: int = 0
 
     @property
     def completed(self) -> int:
@@ -93,6 +103,17 @@ def execute_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
     return record
 
 
+def execute_unit(
+    payloads: Sequence[Mapping[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Run one work unit (a shard of cells) and return its records.
+
+    The pool executor ships whole units to amortise dispatch overhead;
+    a unit is just its cells run in order.
+    """
+    return [execute_cell(payload) for payload in payloads]
+
+
 def _cell_payload(cell: CampaignCell, spec: CampaignSpec,
                   spec_hash: str) -> Dict[str, Any]:
     return {
@@ -111,16 +132,36 @@ def run_campaign(
     workers: int = 1,
     resume: bool = False,
     progress: Optional[ProgressFn] = None,
+    executor: str = "auto",
+    shard_size: Optional[int] = None,
+    max_attempts: int = 2,
+    cell_timeout_s: Optional[float] = None,
+    durability: Optional[DurabilityPolicy] = None,
+    shards: Optional[int] = None,
 ) -> CampaignRunSummary:
     """Execute a campaign against a persistent store.
 
     Args:
         spec: The campaign definition.
-        store_path: JSONL store path (created on first run).
-        workers: Process-pool size; ``1`` runs every cell in-process.
+        store_path: Store path or URI; the backend is chosen by
+            :func:`repro.campaign.stores.resolve_backend` (JSONL file,
+            ``.sqlite`` database, or sharded directory).
+        workers: Worker count; ``1`` runs every cell in-process.
         resume: Extend an existing store, skipping completed cells.
             The store's spec hash must match ``spec`` exactly.
         progress: Optional per-cell callback.
+        executor: ``auto`` (inline for one worker, pool otherwise),
+            ``inline``, ``pool``, or ``spawn`` (owned local workers).
+        shard_size: Cells per dispatched work unit (default: sized by
+            the scheduler for the executor).
+        max_attempts: Attempts per cell before a synthesized error
+            record (crashed/timed-out attempts produce no record of
+            their own).
+        cell_timeout_s: Per-cell wall-clock budget; exceeding it kills
+            the worker and consumes one attempt.
+        durability: Store durability policy (default: fsync on every
+            record).
+        shards: Shard count for the sharded-directory backend.
 
     Returns:
         A :class:`CampaignRunSummary`; per-cell failures are recorded,
@@ -131,61 +172,18 @@ def run_campaign(
             or ``workers < 1``.
         StoreIntegrityError: Resuming with a changed spec.
     """
-    if workers < 1:
-        raise CampaignError(f"workers must be >= 1, got {workers}")
-    store = CampaignStore(store_path)
-    completed: set = set()
-    if store.exists():
-        if not resume:
-            raise CampaignError(
-                f"store {store_path!r} already holds a campaign; resume it "
-                "(--resume / resume=True) to extend it, or choose a new path"
-            )
-        store.verify_spec(spec)
-        completed = store.completed_ids()
-    else:
-        store.initialise(spec)
+    # Imported lazily: the fabric imports execute_cell/execute_unit
+    # from this module at import time.
+    from .fabric import CampaignScheduler, FabricConfig
 
-    cells = spec.expand()
-    spec_hash = spec.spec_hash()
-    pending = [c for c in cells if c.cell_id not in completed]
-    summary = CampaignRunSummary(
-        total=len(cells),
-        skipped=len(cells) - len(pending),
-        executed=0,
-        failed=0,
-        duration_s=0.0,
+    config = FabricConfig(
+        workers=workers,
+        executor=executor,
+        shard_size=shard_size,
+        max_attempts=max_attempts,
+        cell_timeout_s=cell_timeout_s,
+        durability=durability,
+        shards=shards,
     )
-    start = time.perf_counter()
-
-    def record_result(payload: Dict[str, Any]) -> None:
-        record = CellRecord.from_dict({"type": "cell", **payload})
-        store.append_cell(record)
-        summary.records.append(record)
-        summary.executed += 1
-        if not record.ok:
-            summary.failed += 1
-        if progress is not None:
-            progress(record, summary.skipped + summary.executed, len(cells))
-
-    if workers == 1 or len(pending) <= 1:
-        for cell in pending:
-            record_result(execute_cell(_cell_payload(cell, spec, spec_hash)))
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-            futures = {
-                pool.submit(
-                    execute_cell, _cell_payload(cell, spec, spec_hash)
-                ): cell
-                for cell in pending
-            }
-            remaining = set(futures)
-            # Append results as they land so a kill mid-campaign keeps
-            # every finished cell, not just those before a barrier.
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    record_result(future.result())
-
-    summary.duration_s = time.perf_counter() - start
-    return summary
+    scheduler = CampaignScheduler(spec, store_path, config)
+    return scheduler.run(resume=resume, progress=progress)

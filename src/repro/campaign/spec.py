@@ -27,8 +27,12 @@ from ..errors import CampaignError
 from ..experiments.scale import ExperimentScale
 from ..net.dynamics import ConditionTimeline
 
-#: Experiment kinds the registry knows how to dispatch.
-KNOWN_KINDS = ("lag", "qoe", "bandwidth", "mobile", "endpoints", "dynamics")
+#: Experiment kinds the registry knows how to dispatch.  ``noop`` is
+#: the calibration kind: a deterministic near-zero-cost cell used to
+#: measure scheduler overhead and to exercise crash recovery without
+#: paying for a real session.
+KNOWN_KINDS = ("lag", "qoe", "bandwidth", "mobile", "endpoints", "dynamics",
+               "noop")
 
 
 def canonical_json(value: Any) -> str:
@@ -234,3 +238,23 @@ class CampaignSpec:
         return hashlib.sha256(
             canonical_json(self.to_dict()).encode()
         ).hexdigest()[:16]
+
+    def save(self, path: str) -> None:
+        """Write this spec as JSON (``campaign run --spec-json``)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignSpec":
+        """Read a spec written by :meth:`save`.
+
+        Raises:
+            CampaignError: The file is missing or not a valid spec.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(f"cannot load spec {path!r}: {exc}") from exc
+        return cls.from_dict(data)

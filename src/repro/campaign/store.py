@@ -1,13 +1,22 @@
-"""Persistent JSONL result store for measurement campaigns.
+"""Persistent result stores for measurement campaigns.
 
-Layout: the first line is a header record carrying the campaign spec
-and its content hash; every subsequent line is one cell record (the
-cell identity, the derived seed, timings, a status, and the serialized
-metrics).  Append-only JSONL means a crash mid-campaign loses at most
-the in-flight cell, every completed cell survives, and ``resume`` is a
-set-difference between the spec's expansion and the ids already on
-disk.  The header hash is the integrity check: a store is only ever
-extended by the exact spec that created it.
+A campaign store holds one header record (the campaign spec and its
+content hash) plus one record per finished cell.  The header hash is
+the integrity check: a store is only ever extended by the exact spec
+that created it, and a crash mid-campaign loses at most the in-flight
+cell -- every completed cell survives, so ``resume`` is a set
+difference between the spec's expansion and the ids already persisted.
+
+This module defines the pieces every backend shares -- the
+:class:`CellRecord` schema, the :class:`DurabilityPolicy`, and the
+:class:`CampaignStoreBase` interface -- plus the original JSONL
+backend (:class:`JsonlCampaignStore`).  The sqlite and sharded
+directory backends live in :mod:`repro.campaign.store_sqlite` and
+:mod:`repro.campaign.store_shards`; :func:`repro.campaign.stores.open_store`
+selects a backend from the store path.
+
+``CampaignStore`` remains an alias of the JSONL backend so existing
+callers (and stores on disk) keep working unchanged.
 """
 
 from __future__ import annotations
@@ -15,13 +24,23 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Set
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..errors import CampaignError, StoreIntegrityError
-from .spec import CampaignSpec
+from .spec import CampaignSpec, canonical_json
 
-#: Record discriminators on the ``type`` field of each JSONL line.
+#: Record discriminators on the ``type`` field of each record.
 HEADER_TYPE = "campaign"
 CELL_TYPE = "cell"
 
@@ -61,8 +80,26 @@ class CellRecord:
         """Whether the cell completed successfully."""
         return self.status == "ok"
 
+    def content_key(self) -> Tuple[str, str, str, int, str, str]:
+        """Run-invariant identity of this record's *content*.
+
+        Excludes wall-clock fields (``duration_s``, ``finished_at``)
+        and the executing pid, so two records are content-equal exactly
+        when the cell produced the same result -- the equality the
+        kill/resume self-check asserts across interrupted and
+        uninterrupted runs.
+        """
+        return (
+            self.cell_id,
+            self.kind,
+            canonical_json(self.params),
+            self.seed,
+            self.status,
+            canonical_json([self.metrics, self.error]),
+        )
+
     def to_dict(self) -> Dict[str, Any]:
-        """The JSONL line payload."""
+        """The serialized record payload."""
         return {
             "type": CELL_TYPE,
             "cell_id": self.cell_id,
@@ -80,7 +117,7 @@ class CellRecord:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CellRecord":
-        """Rebuild a record from one parsed JSONL line."""
+        """Rebuild a record from one parsed payload."""
         try:
             return cls(
                 cell_id=data["cell_id"],
@@ -99,75 +136,108 @@ class CellRecord:
             raise CampaignError(f"bad cell record: {exc!r}") from exc
 
 
-class CampaignStore:
-    """Append-only JSONL persistence for one campaign's results."""
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """How eagerly appends are forced to disk.
 
-    def __init__(self, path: str) -> None:
+    ``fsync_every=1`` (the default) fsyncs after every record -- the
+    original store behaviour, where a kill loses at most the in-flight
+    cell.  ``fsync_every=N`` batches the fsync over N appends (a kill
+    can lose up to the last N-1 records; they are simply re-run on
+    resume), and ``fsync_every=0`` only forces on :meth:`close`.
+    Every policy still *flushes* per append, so live readers
+    (``campaign watch``) see records immediately.
+    """
+
+    fsync_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.fsync_every < 0:
+            raise CampaignError(
+                f"fsync_every must be >= 0, got {self.fsync_every}"
+            )
+
+    @classmethod
+    def coerce(cls, value: "DurabilityPolicy | int | None") -> "DurabilityPolicy":
+        """Accept a policy, an ``fsync_every`` int, or ``None``."""
+        if value is None:
+            return cls()
+        if isinstance(value, DurabilityPolicy):
+            return value
+        return cls(fsync_every=int(value))
+
+
+def build_header(spec: CampaignSpec) -> Dict[str, Any]:
+    """The header payload every backend persists at initialise time."""
+    return {
+        "type": HEADER_TYPE,
+        "name": spec.name,
+        "spec_hash": spec.spec_hash(),
+        "created_at": time.time(),
+        "cells": spec.cell_count(),
+        "spec": spec.to_dict(),
+    }
+
+
+class CampaignStoreBase(ABC):
+    """Backend interface for campaign persistence.
+
+    Concrete backends implement existence, header I/O, appends and
+    (incremental) reads; everything spec-shaped -- initialise, header
+    caching, spec verification, record hydration -- is shared here so
+    the scheduler, aggregator and watch code never see backend
+    details.
+    """
+
+    #: Short name used in CLI output and the backend registry.
+    backend = "base"
+
+    def __init__(self, path: str,
+                 durability: "DurabilityPolicy | int | None" = None) -> None:
         if not path:
             raise CampaignError("a store needs a path")
         self.path = path
+        self.durability = DurabilityPolicy.coerce(durability)
         self._header: Optional[Dict[str, Any]] = None
 
-    # -- reading ---------------------------------------------------------
+    # -- backend surface -------------------------------------------------
 
+    @abstractmethod
     def exists(self) -> bool:
         """Whether anything has been written at this path."""
-        return os.path.exists(self.path) and os.path.getsize(self.path) > 0
 
-    def _lines(self) -> Iterable[Dict[str, Any]]:
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    yield json.loads(line)
-                except json.JSONDecodeError:
-                    # A truncated trailing line (crash mid-append) only
-                    # costs that cell; anything earlier is corruption.
-                    if handle.readline():
-                        raise CampaignError(
-                            f"{self.path}:{lineno}: corrupt record"
-                        ) from None
-                    return
+    @abstractmethod
+    def _write_header(self, header: Dict[str, Any]) -> None:
+        """Persist the header of a fresh store."""
 
-    def header(self) -> Dict[str, Any]:
-        """The campaign header record (parsed once, then cached --
-        the header of an append-only store never changes)."""
-        if self._header is not None:
-            return self._header
-        if not self.exists():
-            raise CampaignError(f"no campaign store at {self.path!r}")
-        for record in self._lines():
-            if record.get("type") == HEADER_TYPE:
-                self._header = record
-                return record
-            break
-        raise StoreIntegrityError(
-            f"{self.path!r} does not start with a campaign header"
-        )
+    @abstractmethod
+    def _load_header(self) -> Optional[Dict[str, Any]]:
+        """Read the persisted header payload (``None`` if absent)."""
 
-    def spec(self) -> CampaignSpec:
-        """The campaign spec persisted in the header."""
-        return CampaignSpec.from_dict(self.header()["spec"])
+    @abstractmethod
+    def _append_payload(self, payload: Dict[str, Any]) -> None:
+        """Persist one cell payload."""
 
-    def spec_hash(self) -> str:
-        """The spec hash persisted in the header."""
-        return self.header()["spec_hash"]
+    @abstractmethod
+    def _iter_payloads(self) -> Iterator[Dict[str, Any]]:
+        """Every persisted cell payload, in append order."""
 
-    def cell_records(self) -> List[CellRecord]:
-        """Every persisted cell record, in append order."""
-        records = []
-        for record in self._lines():
-            if record.get("type") == CELL_TYPE:
-                records.append(CellRecord.from_dict(record))
-        return records
+    @abstractmethod
+    def tail(self, cursor: Any = None) -> Tuple[List[CellRecord], Any]:
+        """Records appended since ``cursor`` plus the new cursor.
 
-    def completed_ids(self) -> Set[str]:
-        """Ids of cells that finished successfully (resume skips these)."""
-        return {r.cell_id for r in self.cell_records() if r.ok}
+        ``cursor=None`` starts from the beginning.  Cursors are
+        backend-opaque; callers only thread them through.  Reading is
+        safe while another process appends (``campaign watch``).
+        """
 
-    # -- writing ---------------------------------------------------------
+    def flush(self) -> None:
+        """Force buffered appends to disk (a durability barrier)."""
+
+    def close(self) -> None:
+        """Flush and release any held handles."""
+
+    # -- shared behaviour ------------------------------------------------
 
     def initialise(self, spec: CampaignSpec) -> None:
         """Write the header for a fresh store.
@@ -181,25 +251,39 @@ class CampaignStore:
                 f"store {self.path!r} already exists; resume it or pick "
                 "a new path"
             )
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        header = {
-            "type": HEADER_TYPE,
-            "name": spec.name,
-            "spec_hash": spec.spec_hash(),
-            "created_at": time.time(),
-            "cells": spec.cell_count(),
-            "spec": spec.to_dict(),
-        }
-        self._append(header)
+        header = build_header(spec)
+        self._write_header(header)
         self._header = header
+
+    def header(self) -> Dict[str, Any]:
+        """The campaign header record (parsed once, then cached --
+        the header of an append-only store never changes)."""
+        if self._header is not None:
+            return self._header
+        if not self.exists():
+            raise CampaignError(f"no campaign store at {self.path!r}")
+        header = self._load_header()
+        if header is None or header.get("type") != HEADER_TYPE:
+            raise StoreIntegrityError(
+                f"{self.path!r} does not start with a campaign header"
+            )
+        self._header = header
+        return header
+
+    def spec(self) -> CampaignSpec:
+        """The campaign spec persisted in the header."""
+        return CampaignSpec.from_dict(self.header()["spec"])
+
+    def spec_hash(self) -> str:
+        """The spec hash persisted in the header."""
+        return self.header()["spec_hash"]
 
     def verify_spec(self, spec: CampaignSpec) -> None:
         """Check that ``spec`` is the one this store was created from.
 
         Raises:
             StoreIntegrityError: The hashes differ -- resuming would mix
-                results from two different grids in one file.
+                results from two different grids in one store.
         """
         stored = self.spec_hash()
         current = spec.spec_hash()
@@ -210,13 +294,172 @@ class CampaignStore:
                 "(campaign definition changed; use a new store path)"
             )
 
+    def cell_records(self) -> List[CellRecord]:
+        """Every persisted cell record.
+
+        Ordering contract: records of the *same cell* appear in append
+        order (so latest-wins dedup is well defined); backends may
+        interleave records of different cells (the sharded store reads
+        shard by shard).
+        """
+        return [CellRecord.from_dict(p) for p in self._iter_payloads()]
+
+    def completed_ids(self) -> Set[str]:
+        """Ids of cells that finished successfully (resume skips these)."""
+        return {r.cell_id for r in self.cell_records() if r.ok}
+
     def append_cell(self, record: CellRecord) -> None:
         """Persist one finished cell."""
-        self._append(record.to_dict())
+        self._append_payload(record.to_dict())
 
-    def _append(self, payload: Dict[str, Any]) -> None:
-        line = json.dumps(payload, sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+    def sidecar_path(self, name: str) -> str:
+        """Where scheduler sidecar state (checkpoints) lives."""
+        return f"{self.path}.{name}"
+
+    def __enter__(self) -> "CampaignStoreBase":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# JSONL helpers shared with the sharded-directory backend.
+# --------------------------------------------------------------------- #
+
+def iter_jsonl_payloads(
+    path: str, start: int = 0
+) -> Iterator[Tuple[Dict[str, Any], int]]:
+    """Yield ``(payload, end_offset)`` for each complete record line.
+
+    A truncated or corrupt *final* line (crash mid-append) is
+    tolerated -- iteration stops before it and the cursor never
+    advances past it; corruption anywhere earlier raises, because an
+    append-only file damaged mid-stream means lost results, not an
+    interrupted write.
+    """
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        offset = start
+        for raw in handle:
+            end = offset + len(raw)
+            if not raw.endswith(b"\n"):
+                return  # partial tail write; re-read once completed
+            stripped = raw.strip()
+            if not stripped:
+                offset = end
+                continue
+            try:
+                payload = json.loads(stripped.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                if handle.read(1):
+                    raise CampaignError(
+                        f"{path}: corrupt record at byte {offset}"
+                    ) from None
+                return  # corrupt final line: the interrupted append
+            yield payload, end
+            offset = end
+
+
+def open_jsonl_append(path: str):
+    """Open a JSONL file for appending, healing crash debris first.
+
+    A kill mid-append leaves a torn (or corrupt) final line.  Readers
+    tolerate it, but appending *after* it would turn interrupted-write
+    debris into permanent mid-file corruption -- so the partial tail is
+    truncated away before the append handle opens.  The records it held
+    were never complete, so nothing real is lost; the cell re-runs on
+    resume.
+    """
+    if os.path.exists(path) and os.path.getsize(path) > 0:
+        valid_end = 0
+        for _, end in iter_jsonl_payloads(path):
+            valid_end = end
+        if valid_end < os.path.getsize(path):
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_end)
+    return open(path, "a", encoding="utf-8")
+
+
+class JsonlCampaignStore(CampaignStoreBase):
+    """Append-only single-file JSONL persistence (the original store).
+
+    The first line is the header; every later line is one cell.  A
+    persistent append handle is kept open across appends (opening and
+    fsyncing per record made the store the bottleneck for sub-second
+    cells); the :class:`DurabilityPolicy` controls how often the handle
+    is fsynced.
+    """
+
+    backend = "jsonl"
+
+    def __init__(self, path: str,
+                 durability: "DurabilityPolicy | int | None" = None) -> None:
+        super().__init__(path, durability)
+        self._handle = None
+        self._unsynced = 0
+
+    # -- reading ---------------------------------------------------------
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path) and os.path.getsize(self.path) > 0
+
+    def _load_header(self) -> Optional[Dict[str, Any]]:
+        for payload, _ in iter_jsonl_payloads(self.path):
+            return payload
+        return None
+
+    def _iter_payloads(self) -> Iterator[Dict[str, Any]]:
+        for payload, _ in iter_jsonl_payloads(self.path):
+            if payload.get("type") == CELL_TYPE:
+                yield payload
+
+    def tail(self, cursor: Any = None) -> Tuple[List[CellRecord], Any]:
+        offset = 0 if cursor is None else int(cursor)
+        if not os.path.exists(self.path):
+            return [], offset
+        records: List[CellRecord] = []
+        for payload, end in iter_jsonl_payloads(self.path, start=offset):
+            if payload.get("type") == CELL_TYPE:
+                records.append(CellRecord.from_dict(payload))
+            offset = end
+        return records, offset
+
+    # -- writing ---------------------------------------------------------
+
+    def _write_header(self, header: Dict[str, Any]) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._write_line(header)
+
+    def _append_payload(self, payload: Dict[str, Any]) -> None:
+        self._write_line(payload)
+
+    def _write_line(self, payload: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self._handle = open_jsonl_append(self.path)
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        # Always flush (live watchers tail the file); fsync per policy.
+        self._handle.flush()
+        self._unsynced += 1
+        every = self.durability.fsync_every
+        if every and self._unsynced >= every:
+            os.fsync(self._handle.fileno())
+            self._unsynced = 0
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            if self._unsynced:
+                os.fsync(self._handle.fileno())
+                self._unsynced = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+
+#: Backwards-compatible name for the original (JSONL) store.
+CampaignStore = JsonlCampaignStore

@@ -1,0 +1,82 @@
+"""Store backend selection: one path/URI in, one backend out.
+
+The backend is inferred from the store path::
+
+    campaign.jsonl             -> JSONL single file (the default)
+    campaign.sqlite / .db      -> sqlite database
+    campaign.shards/ (a dir)   -> sharded directory
+
+or forced with a URI-style prefix: ``jsonl:...``, ``sqlite:...``,
+``shards:...``.  Every campaign entry point (runner, status, report,
+watch) goes through :func:`open_store`, so any backend works anywhere
+a store path is accepted.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Type
+
+from ..errors import CampaignError
+from .store import CampaignStoreBase, DurabilityPolicy, JsonlCampaignStore
+from .store_shards import ShardedCampaignStore
+from .store_sqlite import SqliteCampaignStore
+
+#: scheme prefix -> backend class.
+BACKENDS: Dict[str, Type[CampaignStoreBase]] = {
+    "jsonl": JsonlCampaignStore,
+    "sqlite": SqliteCampaignStore,
+    "shards": ShardedCampaignStore,
+}
+
+#: file extensions that imply the sqlite backend.
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: suffixes that imply the sharded-directory backend.
+_SHARDS_SUFFIXES = (".shards", ".sharddir")
+
+
+def resolve_backend(path: str) -> "tuple[str, str]":
+    """Split a store path into ``(backend_name, concrete_path)``."""
+    for scheme in BACKENDS:
+        prefix = scheme + ":"
+        if path.startswith(prefix):
+            rest = path[len(prefix):]
+            if not rest:
+                raise CampaignError(f"store URI {path!r} is missing a path")
+            return scheme, rest
+    lowered = path.lower()
+    if lowered.endswith(_SQLITE_SUFFIXES):
+        return "sqlite", path
+    if (
+        lowered.rstrip("/").endswith(_SHARDS_SUFFIXES)
+        or path.endswith(("/", os.sep))
+        or os.path.isdir(path)
+    ):
+        return "shards", path
+    return "jsonl", path
+
+
+def open_store(
+    path: str,
+    durability: "DurabilityPolicy | int | None" = None,
+    **backend_kwargs: object,
+) -> CampaignStoreBase:
+    """Open (not create) the store backend selected by ``path``.
+
+    Args:
+        path: Store path or ``scheme:path`` URI.
+        durability: Append durability policy (fsync/commit cadence),
+            see :class:`~repro.campaign.store.DurabilityPolicy`.
+        **backend_kwargs: Backend extras (e.g. ``shards=16`` for a new
+            sharded store).
+    """
+    if not path:
+        raise CampaignError("a store needs a path")
+    backend, concrete = resolve_backend(path)
+    cls = BACKENDS[backend]
+    # ``shards=None`` means "backend default" everywhere, and only the
+    # sharded backend takes the kwarg at all.
+    if backend != "shards" or backend_kwargs.get("shards") is None:
+        backend_kwargs.pop("shards", None)
+    return cls(concrete, durability=durability, **backend_kwargs)

@@ -27,6 +27,16 @@ resumable grids over platform x scenario x network condition::
     python -m repro campaign status --store campaign.jsonl
     python -m repro campaign report --store campaign.jsonl -o report.md
 
+    # Live status from another terminal while a run is in flight.
+    python -m repro campaign watch --store campaign.jsonl
+
+Stores are pluggable: ``--store results.sqlite`` uses the indexed
+sqlite backend, ``--store results.shards/`` a sharded directory;
+``campaign watch`` and ``report`` work on any of them.  ``campaign
+selfcheck`` proves the fabric's durability claim end to end (SIGKILL
+mid-grid, resume, byte-compare cell content against an uninterrupted
+run).
+
 ``campaign run --smoke`` substitutes a seconds-long 2x2 grid (an
 end-to-end check used by CI); ``--paper-scale`` runs the full
 700-session protocol of the paper.  ``campaign run`` flags must match
@@ -42,10 +52,10 @@ import numpy as np
 
 from .analysis.tables import TextTable
 from .campaign.aggregate import report_from_store, status_table
-from .campaign.grids import paper_campaign, smoke_campaign
+from .campaign.grids import calibration_campaign, paper_campaign, smoke_campaign
 from .campaign.runner import run_campaign
-from .campaign.spec import KNOWN_KINDS
-from .campaign.store import CampaignStore
+from .campaign.spec import KNOWN_KINDS, CampaignSpec
+from .campaign.stores import BACKENDS, open_store
 from .errors import ReproError
 from .experiments.dynamics_study import DYNAMICS_SCENARIOS, run_dynamics_cell
 from .experiments.endpoint_study import run_endpoint_study
@@ -197,6 +207,14 @@ def cmd_mobile(args: argparse.Namespace) -> int:
 
 
 def _campaign_spec_from(args: argparse.Namespace):
+    if args.spec_json:
+        return CampaignSpec.load(args.spec_json)
+    if args.calibration:
+        return calibration_campaign(
+            cells=args.calibration,
+            spin_ms=args.spin_ms,
+            master_seed=args.seed,
+        )
     if args.smoke:
         return smoke_campaign(master_seed=args.seed)
     if args.paper_scale:
@@ -228,6 +246,12 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             resume=args.resume,
             progress=progress,
+            executor=args.executor,
+            shard_size=args.shard_size,
+            max_attempts=args.max_attempts,
+            cell_timeout_s=args.cell_timeout,
+            durability=args.fsync_every,
+            shards=args.shards,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -236,12 +260,15 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
           f"{summary.skipped} resumed, {summary.executed} executed, "
           f"{summary.failed} failed in {summary.duration_s:.1f}s "
           f"(workers={args.workers}, store={args.store})")
+    if summary.retried:
+        print(f"fabric absorbed {summary.retried} retried cell attempts "
+              "(worker crashes / timeouts)")
     return 1 if summary.failed else 0
 
 
 def cmd_campaign_status(args: argparse.Namespace) -> int:
-    store = CampaignStore(args.store)
     try:
+        store = open_store(args.store)
         spec = store.spec()
         records = store.cell_records()
     except ReproError as exc:
@@ -250,6 +277,60 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
     print(f"campaign {spec.name!r} (spec hash {spec.spec_hash()})")
     print(status_table(spec, records).render())
     return 0
+
+
+def cmd_campaign_watch(args: argparse.Namespace) -> int:
+    from .campaign.fabric import watch_store
+
+    try:
+        snapshot = watch_store(
+            args.store,
+            interval_s=args.interval,
+            once=args.once,
+            report_path=args.report,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+    return 0 if (snapshot.complete and not snapshot.failed) else 1
+
+
+def cmd_campaign_selfcheck(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .campaign.fabric import run_selfcheck
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-selfcheck-")
+    backends = args.backends or sorted(BACKENDS)
+    failures = 0
+    for backend in backends:
+        try:
+            result = run_selfcheck(
+                backend,
+                workdir=f"{workdir}/{backend}",
+                cells=args.cells,
+                spin_ms=args.spin_ms,
+                kill_after=args.kill_after,
+            )
+        except ReproError as exc:
+            print(f"selfcheck[{backend}]: error: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        killed = "mid-grid" if result.killed_mid_grid else "after finish"
+        if result.ok:
+            print(f"selfcheck[{backend}]: PASS -- {result.total} cells, "
+                  f"SIGKILL {killed} at {result.ok_at_kill} ok, "
+                  "store content matches uninterrupted run")
+        else:
+            print(f"selfcheck[{backend}]: FAIL -- "
+                  f"{len(result.mismatches)} mismatching cells "
+                  f"(SIGKILL {killed} at {result.ok_at_kill} ok)")
+            for mismatch in result.mismatches:
+                print(f"  {mismatch}")
+            failures += 1
+    return 1 if failures else 0
 
 
 def cmd_campaign_report(args: argparse.Namespace) -> int:
@@ -278,7 +359,8 @@ def _add_campaign_subcommands(
     run = actions.add_parser("run", help="execute a campaign grid")
     _add_scale_args(run)
     run.add_argument("--store", default="campaign.jsonl",
-                     help="JSONL result store path")
+                     help="result store path: *.jsonl, *.sqlite, or a "
+                          "*.shards/ directory (scheme: prefixes work too)")
     run.add_argument("--platforms", nargs="+", choices=PLATFORM_CHOICES,
                      default=list(PLATFORM_CHOICES))
     run.add_argument("--kinds", nargs="+", choices=KNOWN_KINDS,
@@ -293,11 +375,46 @@ def _add_campaign_subcommands(
                      help="tiny 2-platform lag+qoe grid (seconds)")
     run.add_argument("--paper-scale", action="store_true",
                      help="full 700-session protocol scale")
+    run.add_argument("--spec-json", default=None, metavar="PATH",
+                     help="run a spec saved as JSON instead of building "
+                          "one from flags")
+    run.add_argument("--calibration", type=int, default=0, metavar="CELLS",
+                     help="run a no-op calibration grid of this many cells")
+    run.add_argument("--spin-ms", type=float, default=0.0,
+                     help="busy-wait per calibration cell (ms)")
+    run.add_argument("--executor", default="auto",
+                     choices=("auto", "inline", "pool", "spawn"),
+                     help="auto: inline for 1 worker, pool otherwise; "
+                          "spawn: owned local worker processes")
+    run.add_argument("--shard-size", type=int, default=None,
+                     help="cells per dispatched work unit")
+    run.add_argument("--max-attempts", type=int, default=2,
+                     help="attempts per cell before a recorded error")
+    run.add_argument("--cell-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell wall-clock budget (kills the worker)")
+    run.add_argument("--fsync-every", type=int, default=1, metavar="N",
+                     help="fsync the store every N records "
+                          "(0 = only on close)")
+    run.add_argument("--shards", type=int, default=None,
+                     help="shard count for a new sharded-directory store")
     run.set_defaults(func=cmd_campaign_run)
 
     status = actions.add_parser("status", help="progress of a store")
     status.add_argument("--store", default="campaign.jsonl")
     status.set_defaults(func=cmd_campaign_status)
+
+    watch = actions.add_parser(
+        "watch", help="live status: tail a store another process writes"
+    )
+    watch.add_argument("--store", default="campaign.jsonl")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between polls")
+    watch.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit")
+    watch.add_argument("--report", default=None, metavar="PATH",
+                       help="keep a Markdown report refreshed here")
+    watch.set_defaults(func=cmd_campaign_watch)
 
     report = actions.add_parser(
         "report", help="paper-style report from a store"
@@ -306,6 +423,22 @@ def _add_campaign_subcommands(
     report.add_argument("-o", "--output", default=None,
                         help="write Markdown here instead of stdout")
     report.set_defaults(func=cmd_campaign_report)
+
+    selfcheck = actions.add_parser(
+        "selfcheck",
+        help="kill/resume equivalence proof: SIGKILL a run mid-grid, "
+             "resume, assert the store matches an uninterrupted run",
+    )
+    selfcheck.add_argument("--backends", nargs="+", default=None,
+                           choices=sorted(BACKENDS),
+                           help="store backends to prove (default: all)")
+    selfcheck.add_argument("--workdir", default=None,
+                           help="scratch directory (default: a tempdir)")
+    selfcheck.add_argument("--cells", type=int, default=14)
+    selfcheck.add_argument("--spin-ms", type=float, default=40.0)
+    selfcheck.add_argument("--kill-after", type=int, default=4,
+                           help="completed cells before the SIGKILL")
+    selfcheck.set_defaults(func=cmd_campaign_selfcheck)
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -1,0 +1,329 @@
+"""The campaign fabric: executors, retries, checkpoints, streaming.
+
+Worker crashes here are real: the ``noop`` calibration kind SIGKILLs
+its own worker process on a cell's first attempt (``crash_flag``), so
+the pool-rebuild and spawn-respawn paths are exercised with actual
+dead processes, not mocks.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.campaign import (
+    CampaignScheduler,
+    FabricConfig,
+    StreamingAggregator,
+    build_report,
+    calibration_campaign,
+    open_store,
+    run_campaign,
+    watch_store,
+)
+from repro.campaign.fabric.executors import (
+    InlineExecutor,
+    LocalWorkerFabricExecutor,
+    ProcessPoolFabricExecutor,
+    make_executor,
+)
+from repro.campaign.fabric.scheduler import CHECKPOINT_NAME
+from repro.cli import main
+from repro.errors import CampaignError
+
+
+def ok_metrics(store_path):
+    store = open_store(store_path)
+    return {
+        r.cell_id: r.metrics for r in store.cell_records() if r.ok
+    }
+
+
+class TestExecutors:
+    def test_make_executor_auto(self):
+        assert isinstance(make_executor("auto", 1), InlineExecutor)
+        assert isinstance(make_executor("auto", 3),
+                          ProcessPoolFabricExecutor)
+        assert isinstance(make_executor("spawn", 2),
+                          LocalWorkerFabricExecutor)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(CampaignError):
+            make_executor("teleport", 1)
+
+    @pytest.mark.parametrize("executor,workers", [
+        ("inline", 1), ("pool", 2), ("spawn", 2),
+    ])
+    def test_executors_produce_identical_cells(self, tmp_path, executor,
+                                               workers):
+        spec = calibration_campaign(cells=8, name="equiv")
+        path = str(tmp_path / f"{executor}.jsonl")
+        summary = run_campaign(
+            spec, path, workers=workers, executor=executor
+        )
+        assert summary.executed == 8 and summary.failed == 0
+        reference = str(tmp_path / "ref.jsonl")
+        run_campaign(spec, reference, workers=1)
+        assert ok_metrics(path) == ok_metrics(reference)
+
+    def test_invalid_worker_count_rejected(self, tmp_path):
+        with pytest.raises(CampaignError):
+            run_campaign(
+                calibration_campaign(cells=2),
+                str(tmp_path / "x.jsonl"), workers=0,
+            )
+
+
+class TestCrashRecovery:
+    def crash_spec(self, tmp_path, cells=4):
+        flag = str(tmp_path / "crash.flag")
+        return flag, calibration_campaign(
+            cells=cells, crash_flags=(flag,), name="crashy"
+        )
+
+    @pytest.mark.parametrize("executor", ["pool", "spawn"])
+    def test_worker_crash_is_retried_not_fatal(self, tmp_path, executor):
+        flag, spec = self.crash_spec(tmp_path)
+        path = str(tmp_path / f"{executor}.jsonl")
+        summary = run_campaign(
+            spec, path, workers=2, executor=executor, max_attempts=3
+        )
+        assert summary.failed == 0
+        assert summary.executed == spec.cell_count()
+        assert summary.retried >= 1
+        assert os.path.exists(flag)  # the crash really happened
+        # Retried content matches a crash-free inline run bit for bit.
+        reference = str(tmp_path / "ref.jsonl")
+        run_campaign(spec, reference, workers=1)  # flag exists: no crash
+        assert ok_metrics(path) == ok_metrics(reference)
+
+    def test_retry_budget_exhaustion_records_error(self, tmp_path):
+        # Every attempt of the crash cell kills its worker: with the
+        # flag re-deleted by a wrapper we can't do per-attempt, so use
+        # max_attempts=1 -- the single crash exhausts the budget.
+        flag, spec = self.crash_spec(tmp_path, cells=2)
+        path = str(tmp_path / "exhaust.jsonl")
+        summary = run_campaign(
+            spec, path, workers=2, executor="pool", max_attempts=1
+        )
+        assert summary.failed >= 1
+        errors = [r for r in summary.records if not r.ok]
+        assert any("fabric:" in r.error and "attempt 1/1" in r.error
+                   for r in errors)
+        # The run terminated with one final outcome per cell.
+        assert summary.executed == spec.cell_count()
+
+    def test_spawn_cell_timeout_kills_worker(self, tmp_path):
+        # One cell spins for 30s against a 0.4s budget.
+        spec = calibration_campaign(cells=1, spin_ms=30_000.0,
+                                    name="stuck")
+        path = str(tmp_path / "timeout.jsonl")
+        summary = run_campaign(
+            spec, path, workers=1, executor="spawn",
+            max_attempts=1, cell_timeout_s=0.4,
+        )
+        assert summary.failed == 1
+        assert "timeout" in summary.records[0].error
+
+    def test_failed_cells_rerun_on_resume(self, tmp_path):
+        flag, spec = self.crash_spec(tmp_path, cells=2)
+        path = str(tmp_path / "resume.jsonl")
+        first = run_campaign(
+            spec, path, workers=2, executor="pool", max_attempts=1
+        )
+        assert first.failed >= 1
+        # The crash flag now exists, so the rerun succeeds.
+        second = run_campaign(
+            spec, path, workers=1, resume=True
+        )
+        assert second.failed == 0
+        store = open_store(path)
+        assert len(store.completed_ids()) == spec.cell_count()
+
+
+class TestScheduler:
+    def test_config_validation(self):
+        with pytest.raises(CampaignError):
+            FabricConfig(workers=0)
+        with pytest.raises(CampaignError):
+            FabricConfig(max_attempts=0)
+        with pytest.raises(CampaignError):
+            FabricConfig(shard_size=0)
+
+    def test_shard_sizing(self):
+        assert FabricConfig(executor="pool", workers=4).resolve_shard_size(100) == 1
+        spawn = FabricConfig(executor="spawn", workers=2)
+        assert spawn.resolve_shard_size(64) == 8
+        assert spawn.resolve_shard_size(4) == 1
+        assert FabricConfig(executor="spawn", workers=1,
+                            shard_size=5).resolve_shard_size(64) == 5
+
+    def test_checkpoint_cleared_on_completion(self, tmp_path):
+        spec = calibration_campaign(cells=3, name="ckpt")
+        path = str(tmp_path / "c.jsonl")
+        scheduler = CampaignScheduler(spec, path)
+        scheduler.run()
+        assert not os.path.exists(path + "." + CHECKPOINT_NAME)
+
+    def test_checkpoint_survives_failure_and_clears_after(self, tmp_path):
+        flag = str(tmp_path / "crash.flag")
+        spec = calibration_campaign(cells=2, crash_flags=(flag,),
+                                    name="ckpt2")
+        path = str(tmp_path / "c.jsonl")
+        run_campaign(spec, path, workers=2, executor="pool",
+                     max_attempts=1)
+        checkpoint = path + "." + CHECKPOINT_NAME
+        assert os.path.exists(checkpoint)
+        state = json.load(open(checkpoint))
+        assert state["spec_hash"] == spec.spec_hash()
+        assert state["attempts"]  # the crashed cell spent an attempt
+        # Flag exists now; resume completes and clears the checkpoint.
+        run_campaign(spec, path, workers=1, resume=True)
+        assert not os.path.exists(checkpoint)
+
+    def test_scheduler_aggregator_is_live(self, tmp_path):
+        spec = calibration_campaign(cells=5, name="live")
+        scheduler = CampaignScheduler(spec, str(tmp_path / "c.sqlite"))
+        scheduler.run()
+        snapshot = scheduler.aggregator.snapshot()
+        assert snapshot.complete
+        assert snapshot.ok == 5 and snapshot.failed == 0
+
+
+class TestStreamingAggregation:
+    def folded_report(self, spec, records):
+        aggregator = StreamingAggregator(spec)
+        for record in records:
+            aggregator.fold(record)
+        return aggregator.build_report().render()
+
+    def test_streaming_matches_batch_any_order(self, tmp_path):
+        spec = calibration_campaign(cells=6, name="order")
+        path = str(tmp_path / "c.jsonl")
+        run_campaign(spec, path, workers=1)
+        records = open_store(path).cell_records()
+        batch = build_report(spec, records).render()
+        assert self.folded_report(spec, records) == batch
+        shuffled = list(records)
+        random.Random(3).shuffle(shuffled)
+        assert self.folded_report(spec, shuffled) == batch
+
+    def test_streaming_matches_batch_on_real_kinds(self, tmp_path):
+        from repro.campaign import smoke_campaign
+
+        spec = smoke_campaign()
+        path = str(tmp_path / "smoke.jsonl")
+        run_campaign(spec, path, workers=1)
+        records = open_store(path).cell_records()
+        batch = build_report(spec, records).render()
+        assert self.folded_report(spec, records) == batch
+        assert "Streaming lag" in batch and "Video QoE" in batch
+
+    def test_snapshot_progress(self):
+        spec = calibration_campaign(cells=4, name="snap")
+        aggregator = StreamingAggregator(spec)
+        snapshot = aggregator.snapshot()
+        assert snapshot.total == 4 and snapshot.pending == 4
+        assert not snapshot.complete
+        from repro.campaign.runner import _cell_payload, execute_cell
+
+        for index, cell in enumerate(spec.expand()):
+            payload = execute_cell(
+                _cell_payload(cell, spec, spec.spec_hash())
+            )
+            from repro.campaign import CellRecord
+            aggregator.fold(
+                CellRecord.from_dict(payload), arrival=float(index)
+            )
+        snapshot = aggregator.snapshot()
+        assert snapshot.complete and snapshot.ok == 4
+        assert snapshot.cells_per_s == pytest.approx(1.0)
+        assert snapshot.eta_s is None
+
+    def test_failure_superseded_by_ok(self):
+        from repro.campaign import CellRecord
+
+        spec = calibration_campaign(cells=1, name="supersede")
+        cell = spec.expand()[0]
+        base = dict(cell_id=cell.cell_id, kind=cell.kind,
+                    params=dict(cell.params), seed=cell.seed,
+                    spec_hash=spec.spec_hash())
+        aggregator = StreamingAggregator(spec)
+        aggregator.fold(CellRecord(status="error", error="boom", **base))
+        assert aggregator.failed_count == 1
+        aggregator.fold(CellRecord(
+            status="ok", metrics={"index": 0, "value": 1}, **base
+        ))
+        assert aggregator.failed_count == 0
+        assert "## Failures" not in aggregator.build_report().render()
+
+
+class TestWatch:
+    def test_watch_once_renders_progress(self, tmp_path, capsys):
+        spec = calibration_campaign(cells=4, name="watched")
+        path = str(tmp_path / "w.sqlite")
+        run_campaign(spec, path, workers=1)
+        report_path = str(tmp_path / "live.md")
+        snapshot = watch_store(path, once=True, report_path=report_path)
+        assert snapshot.complete
+        out = capsys.readouterr().out
+        assert "4/4 ok" in out
+        live = open(report_path).read()
+        batch = build_report(
+            spec, open_store(path).cell_records()
+        ).render()
+        assert live == batch
+
+    def test_watch_follows_until_complete(self, tmp_path):
+        import io
+
+        spec = calibration_campaign(cells=3, name="follow")
+        path = str(tmp_path / "f.jsonl")
+        run_campaign(spec, path, workers=1)
+        stream = io.StringIO()
+        snapshot = watch_store(
+            path, interval_s=0.01, stream=stream, max_ticks=5
+        )
+        assert snapshot.complete  # completes on the first tick
+        assert "3/3 ok" in stream.getvalue()
+
+    def test_watch_missing_store_errors(self, tmp_path):
+        with pytest.raises(CampaignError):
+            watch_store(str(tmp_path / "absent.jsonl"), once=True)
+
+
+class TestFabricCli:
+    def test_calibration_run_and_watch(self, tmp_path, capsys):
+        store = str(tmp_path / "cal.shards")
+        assert main([
+            "campaign", "run", "--calibration", "6", "--store", store,
+            "--workers", "2", "--executor", "pool",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "watch", "--store", store, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "6/6 ok" in out
+
+    def test_spec_json_round_trip(self, tmp_path, capsys):
+        spec = calibration_campaign(cells=3, name="fromjson")
+        spec_path = str(tmp_path / "spec.json")
+        spec.save(spec_path)
+        store = str(tmp_path / "s.jsonl")
+        assert main([
+            "campaign", "run", "--spec-json", spec_path,
+            "--store", store,
+        ]) == 0
+        assert "campaign 'fromjson'" in capsys.readouterr().out
+        assert open_store(store).spec_hash() == spec.spec_hash()
+
+    def test_status_and_report_on_sqlite(self, tmp_path, capsys):
+        store = str(tmp_path / "cli.sqlite")
+        assert main([
+            "campaign", "run", "--calibration", "4", "--store", store,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--store", store]) == 0
+        assert "noop" in capsys.readouterr().out
+        assert main(["campaign", "report", "--store", store]) == 0
+        assert "Scheduler calibration" in capsys.readouterr().out
