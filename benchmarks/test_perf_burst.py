@@ -1,0 +1,68 @@
+"""Burst event core: bulk-commit vs per-packet throughput guard.
+
+The burst event core (PR 8, :mod:`repro.net.burst` +
+:meth:`repro.net.routing.Network.transmit_train`) collapses a whole
+homogeneous packet train into one array-level commit: vectorised
+departures/arrivals/deliveries, block captures, a single receiver
+handoff, zero per-packet heap events.  This guard runs the pinned
+packet-path workload three ways -- burst-committed train, fused
+per-packet fast lane, forced slow path -- and asserts the properties
+that are stable on any hardware:
+
+* the train executes in exactly ONE simulator event (deterministic),
+* the bulk commit beats the fused per-packet lane by a wide wall-clock
+  margin in the same process (the measured gap is >50x; the floors
+  below keep the guard meaningful without flaking on shared CI).
+
+The ISSUE target -- burst mode at >= 4x the PR 6 fused-vs-slow ratio
+(1.302), i.e. >= 5.21x the forced slow path -- is asserted against the
+slow run directly.  Absolute numbers live in ``BENCH_pr8.json``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import _packet_path_burst_once, _packet_path_once
+
+#: Workload size, matching test_perf_packet_path.py.
+PACKETS = 40_000
+
+#: Floor on burst wall-clock vs the fused per-packet lane.  Measured
+#: ~100x; 4x keeps the guard far from flake territory.
+MIN_SPEEDUP_VS_FUSED = 4.0
+
+#: Floor on burst vs the forced slow path: 4x the PR 6 fused baseline
+#: ratio of 1.302 (the ISSUE acceptance bar).  Measured ~145x.
+MIN_SPEEDUP_VS_SLOW = 4.0 * 1.302
+
+
+def test_burst_commit_is_one_event():
+    result = _packet_path_burst_once(2_000)
+    # The only heap event is the emit that builds and commits the
+    # train; every departure/arrival/delivery is array arithmetic.
+    assert result["events"] == 1
+    assert result["trains"] == 1
+    assert result["packets"] == 2_000
+
+
+def test_burst_beats_fused_and_slow_paths():
+    burst_wall = min(
+        _packet_path_burst_once(PACKETS)["wall_s"] for _ in range(3)
+    )
+    fused_wall = min(
+        _packet_path_once(PACKETS, fast_lane=True)["wall_s"]
+        for _ in range(3)
+    )
+    slow_wall = min(
+        _packet_path_once(PACKETS, fast_lane=False)["wall_s"]
+        for _ in range(3)
+    )
+    vs_fused = fused_wall / burst_wall
+    vs_slow = slow_wall / burst_wall
+    assert vs_fused >= MIN_SPEEDUP_VS_FUSED, (
+        f"burst only {vs_fused:.2f}x the fused lane "
+        f"(burst {burst_wall:.4f}s vs fused {fused_wall:.4f}s)"
+    )
+    assert vs_slow >= MIN_SPEEDUP_VS_SLOW, (
+        f"burst only {vs_slow:.2f}x the forced slow path "
+        f"(burst {burst_wall:.4f}s vs slow {slow_wall:.4f}s)"
+    )

@@ -86,6 +86,7 @@ from .store import (
     CampaignStoreBase,
     CellRecord,
     DurabilityPolicy,
+    GcStats,
     JsonlCampaignStore,
 )
 from .store_shards import ShardedCampaignStore
@@ -105,6 +106,7 @@ __all__ = [
     "CellRecord",
     "DurabilityPolicy",
     "FabricConfig",
+    "GcStats",
     "JsonlCampaignStore",
     "KIND_TABLES",
     "KNOWN_KINDS",

@@ -44,6 +44,13 @@ from .streaming import StreamingAggregator
 #: Checkpoint sidecar name (lives next to / inside the store).
 CHECKPOINT_NAME = "fabric.json"
 
+#: Seconds of estimated work one spawn unit should carry once the
+#: streaming aggregator has a live cells/s estimate.
+ADAPTIVE_UNIT_SECONDS = 2.0
+
+#: Hard cap on cells per unit, so one unit never monopolises a worker.
+MAX_SHARD_SIZE = 16
+
 
 @dataclass(frozen=True)
 class FabricConfig:
@@ -90,21 +97,34 @@ class FabricConfig:
                 f"shard_size must be >= 1, got {self.shard_size}"
             )
 
-    def resolve_shard_size(self, pending: int) -> int:
-        """Cells per unit for this run.
+    def resolve_shard_size(self, pending: int,
+                           cells_per_s: Optional[float] = None) -> int:
+        """Cells per unit for this batch of work.
 
         Inline and pool executors take single-cell units: results land
         (and persist) per cell, and the pool already amortises dispatch.
         Spawn workers pay a queue round-trip per unit, so they get
-        coarser shards -- about four units per worker across the run,
-        capped so one unit never monopolises a worker.
+        coarser shards.  With no throughput estimate yet (the initial
+        submit) the static heuristic applies -- about four units per
+        worker across the run.  Once the streaming aggregator has a
+        live ``cells_per_s``, units are sized to carry roughly
+        :data:`ADAPTIVE_UNIT_SECONDS` of work per worker instead:
+        sub-second calibration cells coalesce into coarse units, while
+        multi-second paper cells requeue as fine-grained (often
+        single-cell) units so a retry never re-runs a long stretch of
+        finished work.  Either way the size is capped at
+        :data:`MAX_SHARD_SIZE` and at the work actually pending.
         """
         if self.shard_size is not None:
             return self.shard_size
-        if self.executor == "spawn":
-            per_worker = max(1, pending // (self.workers * 4))
-            return min(per_worker, 16)
-        return 1
+        if self.executor != "spawn":
+            return 1
+        if cells_per_s and cells_per_s > 0:
+            per_unit = int((cells_per_s / self.workers)
+                           * ADAPTIVE_UNIT_SECONDS)
+            return max(1, min(per_unit, MAX_SHARD_SIZE, pending))
+        per_worker = max(1, pending // (self.workers * 4))
+        return min(per_worker, MAX_SHARD_SIZE)
 
 
 class CampaignScheduler:
@@ -235,11 +255,15 @@ class CampaignScheduler:
         executor = make_executor(
             config.executor, config.workers, config.cell_timeout_s
         )
-        shard_size = config.resolve_shard_size(len(pending))
         next_unit_id = 0
 
         def submit(payloads: List[Dict[str, Any]]) -> None:
             nonlocal next_unit_id
+            # Re-resolved per submit: the initial batch uses the static
+            # heuristic, requeues adapt to the observed cell rate.
+            shard_size = config.resolve_shard_size(
+                len(payloads), self.aggregator.cells_per_s
+            )
             for index in range(0, len(payloads), shard_size):
                 executor.submit(WorkUnit(
                     unit_id=next_unit_id,

@@ -86,6 +86,10 @@ class StreamingAggregator:
         self._kinds_with_ok: Set[str] = set()
         self._dirty: Set[str] = set()
         self._body_cache: Dict[str, str] = {}
+        self._kind_ok: Dict[str, int] = {}
+        self._kind_failed: Dict[str, int] = {}
+        self._delta_dirty: Set[str] = set()
+        self._delta_baseline: Dict[str, Tuple[int, int]] = {}
         self._ok_folds = 0
         self._runtime = 0.0
         self._arrivals: Deque[float] = deque(maxlen=RATE_WINDOW)
@@ -104,23 +108,41 @@ class StreamingAggregator:
         )
         if record.ok:
             self._ok_folds += 1
+            if record.cell_id not in self._ok:
+                self._kind_ok[record.kind] = (
+                    self._kind_ok.get(record.kind, 0) + 1
+                )
             self._ok[record.cell_id] = record
-            self._failed.pop(record.cell_id, None)
+            if self._failed.pop(record.cell_id, None):
+                self._kind_failed[record.kind] -= 1
             self._kinds_with_ok.add(record.kind)
             if record.metrics and record.kind in KIND_TABLES:
                 rows = KIND_TABLES[record.kind].rows(record)
                 self._rows.setdefault(record.kind, {})[record.cell_id] = rows
             self._dirty.add(record.kind)
+            self._delta_dirty.add(record.kind)
         elif record.cell_id not in self._ok:
-            self._failed.setdefault(record.cell_id, []).append(record)
+            bucket = self._failed.setdefault(record.cell_id, [])
+            if not bucket:
+                self._kind_failed[record.kind] = (
+                    self._kind_failed.get(record.kind, 0) + 1
+                )
+            bucket.append(record)
+            self._delta_dirty.add(record.kind)
             self._recent_failures.append(
                 (record.cell_id, (record.error or "?").splitlines()[0])
             )
 
     def seed(self, records: "List[CellRecord]") -> None:
-        """Fold records already persisted (resume / late attach)."""
+        """Fold records already persisted (resume / late attach).
+
+        Seeded records share one arrival instant: replaying history in
+        a tight loop must not fabricate a throughput estimate (the
+        scheduler sizes work units from :attr:`cells_per_s`).
+        """
+        now = time.monotonic()
         for record in records:
-            self.fold(record)
+            self.fold(record, arrival=now)
 
     # -- progress --------------------------------------------------------
 
@@ -141,6 +163,40 @@ class StreamingAggregator:
         if span <= 0:
             return None
         return (len(self._arrivals) - 1) / span
+
+    @property
+    def cells_per_s(self) -> Optional[float]:
+        """Completion rate over the recent arrival window.
+
+        ``None`` until two records have arrived (or when they all
+        landed in the same instant, e.g. a resume seed).  The scheduler
+        reads this to size spawn work units adaptively.
+        """
+        return self._rate()
+
+    def kind_deltas(self) -> List[Tuple[str, int, int]]:
+        """Per-kind ``(kind, ok_delta, failed_delta)`` since last call.
+
+        Dirty-tracked: only kinds that received records since the
+        previous call are inspected, and kinds whose distinct ok/failed
+        counts did not actually move are skipped.  Calling this resets
+        the movement baseline, so ``campaign watch`` sees exactly the
+        cells that landed between its ticks.
+        """
+        deltas: List[Tuple[str, int, int]] = []
+        for kind in sorted(self._delta_dirty):
+            current = (
+                self._kind_ok.get(kind, 0),
+                self._kind_failed.get(kind, 0),
+            )
+            last = self._delta_baseline.get(kind, (0, 0))
+            if current != last:
+                deltas.append(
+                    (kind, current[0] - last[0], current[1] - last[1])
+                )
+            self._delta_baseline[kind] = current
+        self._delta_dirty.clear()
+        return deltas
 
     def snapshot(self) -> ProgressSnapshot:
         """Current progress (cells/s, ETA, per-kind counts)."""

@@ -25,6 +25,26 @@ from ..stores import open_store
 from .streaming import ProgressSnapshot, StreamingAggregator
 
 
+def render_deltas(deltas: "list[tuple[str, int, int]]") -> str:
+    """Per-kind movement lines for one watch tick.
+
+    ``deltas`` comes from
+    :meth:`~repro.campaign.fabric.streaming.StreamingAggregator.kind_deltas`;
+    only kinds that actually moved appear, with signed ok/failed
+    counts (a failure superseded by a retry's ok shows as ``-1
+    failed``).
+    """
+    lines = []
+    for kind, ok_delta, failed_delta in deltas:
+        parts = []
+        if ok_delta:
+            parts.append(f"{ok_delta:+d} ok")
+        if failed_delta:
+            parts.append(f"{failed_delta:+d} failed")
+        lines.append(f"  delta {kind:<10} {', '.join(parts)}")
+    return "\n".join(lines)
+
+
 def render_snapshot(snapshot: ProgressSnapshot) -> str:
     """One status block for a terminal tick."""
     rate = (
@@ -88,7 +108,13 @@ def watch_store(
         for record in records:
             aggregator.fold(record)
         snapshot = aggregator.snapshot()
+        # The first tick folds history, so it only sets the movement
+        # baseline; later ticks print what landed since the previous
+        # one.
+        deltas = aggregator.kind_deltas()
         print(render_snapshot(snapshot), file=out, flush=True)
+        if ticks and deltas:
+            print(render_deltas(deltas), file=out, flush=True)
         if report is not None and (records or ticks == 0):
             aggregator.refresh_report(report)
             report.save(report_path)

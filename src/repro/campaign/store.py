@@ -167,6 +167,51 @@ class DurabilityPolicy:
         return cls(fsync_every=int(value))
 
 
+@dataclass(frozen=True)
+class GcStats:
+    """What one store compaction (``campaign gc``) reclaimed.
+
+    Attributes:
+        records_kept: Cell records surviving the rewrite.
+        errors_dropped: Error records dropped because a later ``ok``
+            record superseded them (latest-wins, same as resume).
+        debris_bytes: Bytes of torn-tail crash debris healed away
+            (always 0 for backends without line-level appends).
+    """
+
+    records_kept: int
+    errors_dropped: int
+    debris_bytes: int
+
+    @property
+    def reclaimed(self) -> bool:
+        """Whether the compaction actually removed anything."""
+        return self.errors_dropped > 0 or self.debris_bytes > 0
+
+
+def partition_superseded(
+    payloads: List[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Split payloads into survivors and a superseded-error count.
+
+    An error record is superseded when any ``ok`` record exists for
+    the same cell -- exactly the records ``completed_ids`` already
+    ignores, so dropping them never changes what a resume or report
+    sees.  Non-cell payloads (headers) pass through untouched.
+    """
+    ok_ids = {
+        p["cell_id"] for p in payloads
+        if p.get("type") == CELL_TYPE and p.get("status") == "ok"
+    }
+    kept = [
+        p for p in payloads
+        if p.get("type") != CELL_TYPE
+        or p.get("status") == "ok"
+        or p.get("cell_id") not in ok_ids
+    ]
+    return kept, len(payloads) - len(kept)
+
+
 def build_header(spec: CampaignSpec) -> Dict[str, Any]:
     """The header payload every backend persists at initialise time."""
     return {
@@ -316,6 +361,23 @@ class CampaignStoreBase(ABC):
         """Where scheduler sidecar state (checkpoints) lives."""
         return f"{self.path}.{name}"
 
+    def gc(self) -> GcStats:
+        """Compact the store in place.
+
+        Drops error records superseded by a later ``ok`` for the same
+        cell and (for line-append backends) heals torn-tail crash
+        debris by rewriting only complete records.  The rewrite is
+        atomic per file, the header survives unchanged, and nothing a
+        resume, report or watch would use is ever removed.
+
+        Raises:
+            CampaignError: The backend does not support compaction, or
+                the store does not exist.
+        """
+        raise CampaignError(
+            f"{self.backend} store {self.path!r} does not support gc"
+        )
+
     def __enter__(self) -> "CampaignStoreBase":
         return self
 
@@ -379,6 +441,33 @@ def open_jsonl_append(path: str):
             with open(path, "r+b") as handle:
                 handle.truncate(valid_end)
     return open(path, "a", encoding="utf-8")
+
+
+def gc_jsonl_file(path: str) -> Tuple[int, int, int]:
+    """Compact one JSONL record file in place.
+
+    Returns ``(records_kept, errors_dropped, debris_bytes)``.  The
+    replacement file holds exactly the surviving complete records, so
+    a torn tail (crash debris readers already skip) is healed away;
+    the rewrite goes through a fsynced temporary and ``os.replace``,
+    so a kill mid-gc leaves the original file intact.
+    """
+    size = os.path.getsize(path)
+    payloads: List[Dict[str, Any]] = []
+    valid_end = 0
+    for payload, end in iter_jsonl_payloads(path):
+        payloads.append(payload)
+        valid_end = end
+    kept, dropped = partition_superseded(payloads)
+    tmp = f"{path}.gc"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for payload in kept:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    cells_kept = sum(1 for p in kept if p.get("type") == CELL_TYPE)
+    return cells_kept, dropped, size - valid_end
 
 
 class JsonlCampaignStore(CampaignStoreBase):
@@ -459,6 +548,15 @@ class JsonlCampaignStore(CampaignStoreBase):
             self.flush()
             self._handle.close()
             self._handle = None
+
+    # -- compaction ------------------------------------------------------
+
+    def gc(self) -> GcStats:
+        if not self.exists():
+            raise CampaignError(f"no campaign store at {self.path!r}")
+        self.header()  # integrity check before any rewrite
+        self.close()  # the rewrite replaces the append handle's file
+        return GcStats(*gc_jsonl_file(self.path))
 
 
 #: Backwards-compatible name for the original (JSONL) store.

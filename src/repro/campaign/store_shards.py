@@ -29,6 +29,8 @@ from .store import (
     CELL_TYPE,
     CampaignStoreBase,
     CellRecord,
+    GcStats,
+    gc_jsonl_file,
     iter_jsonl_payloads,
     open_jsonl_append,
 )
@@ -164,3 +166,26 @@ class ShardedCampaignStore(CampaignStoreBase):
         for handle in self._handles.values():
             handle.close()
         self._handles.clear()
+
+    # -- compaction ------------------------------------------------------
+
+    def gc(self) -> GcStats:
+        """Compact every shard file independently.
+
+        Shard routing is by cell id, so an error and the ok that
+        supersedes it always share a shard -- per-file compaction sees
+        the whole history of every cell it touches.
+        """
+        if not self.exists():
+            raise CampaignError(f"no campaign store at {self.path!r}")
+        self.header()
+        self.close()
+        kept = dropped = debris = 0
+        for path in self._shard_paths():
+            if not os.path.exists(path):
+                continue
+            shard_kept, shard_dropped, shard_debris = gc_jsonl_file(path)
+            kept += shard_kept
+            dropped += shard_dropped
+            debris += shard_debris
+        return GcStats(kept, dropped, debris)

@@ -21,7 +21,7 @@ import sqlite3
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..errors import CampaignError, StoreIntegrityError
-from .store import CampaignStoreBase, CellRecord
+from .store import CampaignStoreBase, CellRecord, GcStats
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -186,3 +186,30 @@ class SqliteCampaignStore(CampaignStoreBase):
 
     def sidecar_path(self, name: str) -> str:
         return f"{self.path}.{name}"
+
+    # -- compaction ------------------------------------------------------
+
+    def gc(self) -> GcStats:
+        """Drop superseded error rows and vacuum the database.
+
+        Sqlite has no torn tails to heal (uncommitted rows simply
+        vanish), so ``debris_bytes`` is always 0 here; the reclaimed
+        pages go back to the filesystem via ``VACUUM``.
+        """
+        if not self.exists():
+            raise CampaignError(f"no campaign store at {self.path!r}")
+        self.header()
+        conn = self._connect()
+        try:
+            dropped = conn.execute(
+                "DELETE FROM cells WHERE status != 'ok' AND cell_id IN "
+                "(SELECT cell_id FROM cells WHERE status = 'ok')"
+            ).rowcount
+            conn.commit()
+            conn.execute("VACUUM")
+            kept = conn.execute("SELECT COUNT(*) FROM cells").fetchone()[0]
+        except sqlite3.Error as exc:
+            raise CampaignError(
+                f"cannot gc sqlite store {self.path!r}: {exc}"
+            ) from exc
+        return GcStats(int(kept), int(dropped), 0)

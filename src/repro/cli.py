@@ -30,6 +30,10 @@ resumable grids over platform x scenario x network condition::
     # Live status from another terminal while a run is in flight.
     python -m repro campaign watch --store campaign.jsonl
 
+    # Compact a store after a crashy run: drop error records that a
+    # retry's ok superseded, heal torn-tail crash debris.
+    python -m repro campaign gc --store campaign.jsonl
+
 Stores are pluggable: ``--store results.sqlite`` uses the indexed
 sqlite backend, ``--store results.shards/`` a sharded directory;
 ``campaign watch`` and ``report`` work on any of them.  ``campaign
@@ -333,6 +337,19 @@ def cmd_campaign_selfcheck(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_campaign_gc(args: argparse.Namespace) -> int:
+    try:
+        store = open_store(args.store)
+        stats = store.gc()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"gc {args.store}: kept {stats.records_kept} records, "
+          f"dropped {stats.errors_dropped} superseded error records, "
+          f"healed {stats.debris_bytes} bytes of crash debris")
+    return 0
+
+
 def cmd_campaign_report(args: argparse.Namespace) -> int:
     try:
         report = report_from_store(args.store)
@@ -415,6 +432,14 @@ def _add_campaign_subcommands(
     watch.add_argument("--report", default=None, metavar="PATH",
                        help="keep a Markdown report refreshed here")
     watch.set_defaults(func=cmd_campaign_watch)
+
+    gc = actions.add_parser(
+        "gc",
+        help="compact a store: drop superseded error records and "
+             "heal torn-tail crash debris",
+    )
+    gc.add_argument("--store", default="campaign.jsonl")
+    gc.set_defaults(func=cmd_campaign_gc)
 
     report = actions.add_parser(
         "report", help="paper-style report from a store"

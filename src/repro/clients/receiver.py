@@ -26,6 +26,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Fraction of a frame's fragments FEC/NACK recovery can absorb.
 DEFAULT_FEC_TOLERANCE = 0.2
 
+#: Process-wide default for deferred receiver decode (burst event
+#: core): park delivered frames and replay the batched decode at
+#: finalize.  Bit-identical either way; it only engages for watched
+#: flows with no per-frame sink, where decode outputs are unobservable
+#: until the recording is read.
+DEFER_DECODE_DEFAULT = True
+
 
 @dataclass
 class FlowStats:
@@ -100,13 +107,28 @@ class ReceiverEngine:
         on_frame: Optional[Callable] = None,
         codec_batch: Optional[bool] = None,
         pixels: bool = True,
+        defer: Optional[bool] = None,
     ) -> VideoDecoder:
         """Decode a video flow; ``on_frame(frame, time)`` per render.
 
         ``pixels=False`` attaches a stats-only decoder (freeze/decoded
         counts, no reconstructions) for flows nobody renders.
+
+        ``defer`` controls deferred decode (default
+        :data:`DEFER_DECODE_DEFAULT`): delivered frames are parked and
+        replayed through the batched decoder when outputs are first
+        read.  It only engages when nothing observes per-frame outputs
+        during the session -- a pixel decoder with no ``on_frame``
+        sink; with a sink (or stats-only) the eager path runs.
         """
-        decoder = VideoDecoder(spec, batch=codec_batch, pixels=pixels)
+        effective_defer = (
+            (DEFER_DECODE_DEFAULT if defer is None else bool(defer))
+            and pixels
+            and on_frame is None
+        )
+        decoder = VideoDecoder(
+            spec, batch=codec_batch, pixels=pixels, defer=effective_defer
+        )
         self._video_decoders[flow_id] = decoder
         if on_frame is not None:
             self._frame_sinks[flow_id] = on_frame

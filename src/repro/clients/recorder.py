@@ -130,10 +130,23 @@ class DesktopRecorder:
         simulator = self._client.host.network.simulator
         if not self._running or simulator.now >= self._stop_at:
             return False
-        frame = self._decoder.last_frame if self._decoder is not None else None
-        decoded = (
-            self._decoder.frames_decoded if self._decoder is not None else 0
-        )
+        decoder = self._decoder
+        if decoder is not None and decoder.defer:
+            # Deferred decode: grabbing last_frame here would force a
+            # materialise per tick.  Park the decoder's event count as
+            # a token instead; _finalize_pending resolves it to the
+            # exact frame this tick would have grabbed.  The stale
+            # flag reads the (eagerly exact) metadata state machine.
+            decoded = decoder.frames_decoded
+            self.stale_flags.append(
+                not decoder.has_output or decoded == self._frames_seen
+            )
+            self._frames_seen = decoded
+            self._pending.append(decoder.events_seen)
+            self.timestamps.append(simulator.now)
+            return None
+        frame = decoder.last_frame if decoder is not None else None
+        decoded = decoder.frames_decoded if decoder is not None else 0
         self.stale_flags.append(frame is None or decoded == self._frames_seen)
         self._frames_seen = decoded
         if frame is None:
@@ -170,6 +183,12 @@ class DesktopRecorder:
                 return
         pending = self._pending[:needed]
         del self._pending[:needed]
+        if self._decoder is not None and self._decoder.defer:
+            # Deferred decode parked tokens instead of frames; one
+            # materialise replays the whole session's decodes batched,
+            # then each token resolves to the exact frame its tick
+            # would have grabbed (and annotates it identically).
+            pending = [self._resolve_token(token) for token in pending]
         if self.resample_factor >= 1.0:
             self._finalized.extend(pending)
             return
@@ -190,6 +209,16 @@ class DesktopRecorder:
             )
             self._finalized.extend(resampled)
             start = end
+
+    def _resolve_token(self, token: int) -> np.ndarray:
+        """Turn a deferred-grab token into the tick's rendered frame."""
+        frame = self._decoder.frame_at_token(token)
+        if frame is None:
+            frame = np.zeros(self.spec.shape, dtype=np.uint8)
+        rendered = frame.copy()
+        if self.draw_widgets:
+            rendered = self._overlay_widgets(rendered)
+        return rendered
 
     def _overlay_widgets(self, frame: np.ndarray) -> np.ndarray:
         """Draw client UI chrome confined to the padding margin.

@@ -558,6 +558,7 @@ class VideoDecoder:
         spec: FrameSpec,
         batch: Optional[bool] = None,
         pixels: bool = True,
+        defer: bool = False,
     ) -> None:
         """``pixels=False`` runs the freeze/resync state machine only.
 
@@ -565,10 +566,22 @@ class VideoDecoder:
         depend solely on frame metadata, so a stats-only decoder --
         a receiver that watches a flow nobody renders -- can skip
         every reconstruction.  ``last_frame`` stays ``None``.
+
+        ``defer=True`` parks every delivered frame instead of
+        reconstructing it: the freeze/resync state machine (and its
+        counters) still runs eagerly and exactly, but pixel work is
+        logged as events and replayed through :meth:`decode_batch` on
+        an internal eager decoder at :meth:`materialise` time -- so the
+        simulator loop does zero codec work, and every per-event output
+        is bit-identical to the eager path (only the wall-clock moment
+        of the pure computation moves).  Only meaningful with pixels;
+        callers must not rely on :meth:`decode` return values while
+        deferring (they are ``None`` until materialised).
         """
         self.spec = spec
         self.batch = batching_enabled(batch)
         self.pixels = pixels
+        self.defer = bool(defer) and pixels
         self._reference: Optional[np.ndarray] = None
         self._rendered: Optional[np.ndarray] = None
         self._has_reference = False
@@ -576,6 +589,21 @@ class VideoDecoder:
         self._awaiting_keyframe = False
         self.frames_decoded = 0
         self.frames_frozen = 0
+        #: Count of decode/mark_lost events accepted so far; a deferred
+        #: grab (desktop recorder tick) stores this as its token.
+        self.events_seen = 0
+        self._events: List[object] = []
+        self._event_frames: List[Optional[np.ndarray]] = []
+        self._inner: Optional["VideoDecoder"] = None
+
+    @property
+    def has_output(self) -> bool:
+        """Whether :attr:`last_frame` would be non-``None``.
+
+        Readable without forcing a deferred materialise: a frame has
+        been rendered iff the decoder has ever accepted a reference.
+        """
+        return self._has_reference if self.pixels else False
 
     @property
     def last_frame(self) -> Optional[np.ndarray]:
@@ -586,6 +614,8 @@ class VideoDecoder:
         the crop/clamp/cast runs once per decoded frame.  Treat the
         returned array as read-only (repeat reads share it).
         """
+        if self._events:
+            self.materialise()
         if self._reference is None:
             return None
         if self._rendered is None:
@@ -602,6 +632,28 @@ class VideoDecoder:
         output) when the stream has a gap and ``encoded`` is not a
         keyframe -- rendering continues but the new data is unusable.
         """
+        if self.defer:
+            # Exact metadata state machine (counters and resync state
+            # must read true at any simulation time); pixels are parked
+            # as an event and replayed at materialise time.
+            self._events.append(encoded)
+            self.events_seen += 1
+            gap = encoded.index != self._next_expected
+            if gap and not encoded.keyframe:
+                self._awaiting_keyframe = True
+            if self._awaiting_keyframe and not encoded.keyframe:
+                self._next_expected = encoded.index + 1
+                self.frames_frozen += 1
+                return None
+            if not encoded.keyframe and not self._has_reference:
+                self._next_expected = encoded.index + 1
+                self.frames_frozen += 1
+                return None
+            self._has_reference = True
+            self._awaiting_keyframe = False
+            self._next_expected = encoded.index + 1
+            self.frames_decoded += 1
+            return None
         gap = encoded.index != self._next_expected
         if gap and not encoded.keyframe:
             self._awaiting_keyframe = True
@@ -644,6 +696,10 @@ class VideoDecoder:
         to the per-frame loop (which ``batch=False`` falls back to).
         """
         frames = list(frames)
+        if self.defer:
+            # Park each frame as an event; the batch machinery runs at
+            # materialise time on the internal eager decoder instead.
+            return [self.decode(encoded) for encoded in frames]
         if not self.batch or not self.pixels or len(frames) < 2:
             # Stats-only decoding is pure metadata work; batching
             # would only add stack bookkeeping.
@@ -746,8 +802,72 @@ class VideoDecoder:
         The decoder renders a freeze and will wait for the next
         keyframe before trusting inter frames again.
         """
+        if self.defer:
+            self._events.append(int(frame_index))
+            self.events_seen += 1
+            if frame_index >= self._next_expected:
+                self._next_expected = frame_index + 1
+            self._awaiting_keyframe = True
+            self.frames_frozen += 1
+            return None
         if frame_index >= self._next_expected:
             self._next_expected = frame_index + 1
         self._awaiting_keyframe = True
         self.frames_frozen += 1
         return self.last_frame
+
+    # ------------------------------------------------------------- #
+    # Deferred decode (burst event core, receiver side).
+    # ------------------------------------------------------------- #
+
+    def materialise(self) -> None:
+        """Replay parked events through the eager pixel pipeline.
+
+        Consecutive delivered frames replay via :meth:`decode_batch`
+        (one stacked IDCT per run) with losses applied between runs,
+        on a persistent internal eager decoder whose state carries
+        across calls -- so repeated materialise/defer cycles compose.
+        Each event's rendered output is retained for token lookup
+        (:meth:`frame_at_token`), and the internal decoder's reference
+        becomes this decoder's, making :attr:`last_frame` exact.
+        """
+        if not self._events:
+            return
+        inner = self._inner
+        if inner is None:
+            inner = self._inner = VideoDecoder(
+                self.spec, batch=self.batch, pixels=True
+            )
+        outputs = self._event_frames
+        run: List[EncodedFrame] = []
+        for event in self._events:
+            if type(event) is int:
+                if run:
+                    outputs.extend(inner.decode_batch(run))
+                    run = []
+                outputs.append(inner.mark_lost(event))
+            else:
+                run.append(event)
+        if run:
+            outputs.extend(inner.decode_batch(run))
+        self._events = []
+        # The replay runs the same state machine this decoder already
+        # ran eagerly; any divergence is a defect, not a data error.
+        assert inner.frames_decoded == self.frames_decoded
+        assert inner.frames_frozen == self.frames_frozen
+        assert inner._next_expected == self._next_expected
+        self._reference = inner._reference
+        self._rendered = inner._rendered
+
+    def frame_at_token(self, token: int) -> Optional[np.ndarray]:
+        """The rendered frame as of ``token`` events (recorder grabs).
+
+        ``token`` is a snapshot of :attr:`events_seen`; the returned
+        array is exactly what :attr:`last_frame` held at that moment
+        (``None`` before any output).
+        """
+        if self._events:
+            self.materialise()
+        if token == 0:
+            return None
+        return self._event_frames[token - 1]

@@ -1,0 +1,76 @@
+"""Packet trains: the unit of work of the burst event core.
+
+A :class:`PacketTrain` describes a homogeneous run of packets a sender
+wants to emit on an arithmetic time grid -- the steady-state shape every
+media streamer produces (paced video fragments, audio frame batches).
+The network may accept a whole train in one array-level *burst commit*
+(:meth:`~repro.net.routing.Network.transmit_train`), replacing hundreds
+of heap events with a handful of numpy expressions, or refuse it
+entirely, in which case the caller falls back to the exact per-packet
+emission loop.
+
+Acceptance is strictly all-or-nothing: a train is only taken in bulk
+when the simulator can prove the vectorised arithmetic is bit-identical
+to the per-packet cascade (stable fusion plan, quiet links, no queueing
+interleave, no competing heap events inside the train's window).  That
+contract is what lets burst mode default on without perturbing any
+artifact -- see the equivalence suites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from .address import Address
+from .packet import PacketKind
+
+
+class PacketTrain:
+    """A homogeneous run of packets on an arithmetic emission grid.
+
+    Attributes:
+        src: Source transport address (same for every packet).
+        dst: Destination transport address (same for every packet).
+        kind: Packet kind shared by the whole train.
+        flow_id: Flow identifier shared by the whole train.
+        times: Absolute emission times, one per packet, ascending.
+        payload_sizes: Layer-7 payload byte counts, one per packet.
+        payloads: Opaque per-packet payload objects (or ``None`` for
+            size-modelled flows).
+        seq_start: Per-flow sequence number of the first packet; packet
+            ``i`` carries ``seq_start + i``.
+    """
+
+    __slots__ = ("src", "dst", "kind", "flow_id", "times",
+                 "payload_sizes", "payloads", "seq_start")
+
+    def __init__(
+        self,
+        src: Address,
+        dst: Address,
+        kind: PacketKind,
+        flow_id: str,
+        times: np.ndarray,
+        payload_sizes: Sequence[int],
+        payloads: Optional[List[Any]] = None,
+        seq_start: int = 0,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.flow_id = flow_id
+        self.times = times
+        self.payload_sizes = payload_sizes
+        self.payloads = payloads
+        self.seq_start = seq_start
+
+    def __len__(self) -> int:
+        return len(self.payload_sizes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PacketTrain({self.src}->{self.dst}, {self.kind.value}, "
+            f"n={len(self.payload_sizes)}, flow={self.flow_id!r})"
+        )

@@ -1,0 +1,244 @@
+"""Unit coverage of the burst event core's vectorised primitives.
+
+Each primitive (heap peek + horizon, batched clock skew, batched link
+reservations, batched shaper submission, block captures, bulk packet-id
+reservation) must be bit-identical to the scalar loop it replaces --
+that is the burst core's whole contract.  The tests here diff each one
+against its per-packet twin directly; end-to-end identity is covered by
+``test_fast_lane_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+import repro.net.packet as packet_mod
+from repro.net.capture import Capture, Direction
+from repro.net.clock import Clock
+from repro.net.link import AccessLink
+from repro.net.packet import (
+    HEADER_OVERHEAD_BYTES,
+    Packet,
+    PacketKind,
+    Protocol,
+    reserve_packet_ids,
+)
+from repro.net.address import Address
+from repro.net.shaper import TokenBucketShaper
+from repro.net.simulator import Simulator
+
+
+class TestSimulatorPeekHorizon:
+    def test_peek_time_empty_heap(self):
+        assert Simulator().peek_time() == math.inf
+
+    def test_peek_time_is_earliest_event(self):
+        simulator = Simulator()
+        simulator.schedule_at(2.0, lambda: None)
+        simulator.schedule_at(1.0, lambda: None)
+        assert simulator.peek_time() == 1.0
+
+    def test_horizon_tracks_run_bound(self):
+        simulator = Simulator()
+        seen = []
+        assert simulator.horizon == 0.0
+
+        def probe():
+            seen.append(simulator.horizon)
+
+        simulator.schedule_at(1.0, probe)
+        simulator.run(until=5.0)
+        assert seen == [5.0]
+        # After the run the horizon collapses back to "now": nothing
+        # past the present may be bulk-committed outside run().
+        assert simulator.horizon == simulator.now
+
+    def test_horizon_unbounded_drain(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule_at(1.0, lambda: seen.append(simulator.horizon))
+        simulator.run()
+        assert seen == [math.inf]
+
+
+class TestClockBatch:
+    @pytest.mark.parametrize("offset,drift", [(0.0, 0.0), (0.35, 40.0),
+                                              (-0.02, -15.0)])
+    def test_local_times_matches_scalar(self, offset, drift):
+        clock = Clock(offset_s=offset, drift_ppm=drift)
+        times = np.arange(400) * 5e-5 + 1.25
+        batched = clock.local_times(times)
+        scalar = np.array([clock.local_time(t) for t in times.tolist()])
+        assert np.array_equal(batched, scalar)
+
+
+class TestReservePacketIds:
+    def test_cursor_matches_constructor_loop(self):
+        packet_mod._packet_ids = itertools.count(1)
+        start = reserve_packet_ids(5)
+        assert start == 1
+        # The global cursor sits exactly where 5 constructions leave it.
+        src = Address("10.0.0.1", 4000)
+        dst = Address("10.0.0.2", 5000)
+        packet = Packet.fast(src, dst, 100, PacketKind.MEDIA_VIDEO, "f")
+        assert packet.packet_id == 6
+        assert reserve_packet_ids(3) == 7
+        assert next(packet_mod._packet_ids) == 10
+
+
+class TestLinkBatchReservations:
+    def _times(self, n=64, start=1.0, pace=1e-3):
+        return start + np.arange(n) * pace
+
+    def test_uplink_batch_matches_scalar_loop(self):
+        wire = np.full(64, 1228, dtype=np.int64)
+        times = self._times()
+        batched_link = AccessLink()
+        scalar_link = AccessLink()
+        departures = batched_link.reserve_uplink_batch(times, wire)
+        scalar = [
+            scalar_link.reserve_uplink(float(t), 1228)
+            for t in times.tolist()
+        ]
+        assert departures is not None
+        assert departures.tolist() == scalar
+        assert batched_link._uplink_free == scalar_link._uplink_free
+
+    def test_downlink_batch_matches_scalar_loop(self):
+        wire = np.full(64, 1228, dtype=np.int64)
+        times = self._times()
+        batched_link = AccessLink()
+        scalar_link = AccessLink()
+        deliveries = batched_link.reserve_downlink_batch(times, wire)
+        scalar = [
+            scalar_link.reserve_downlink(float(t), 1228)
+            for t in times.tolist()
+        ]
+        assert deliveries is not None
+        assert deliveries.tolist() == scalar
+        assert batched_link._downlink_free == scalar_link._downlink_free
+
+    def test_uplink_batch_refuses_busy_serialiser(self):
+        link = AccessLink()
+        link._uplink_free = 2.0
+        times = self._times(start=1.0)
+        assert link.reserve_uplink_batch(times, np.full(64, 1228)) is None
+        assert link._uplink_free == 2.0  # refusal mutates nothing
+
+    def test_uplink_batch_refuses_overlap(self):
+        # 1 Mbit/s: 1228 wire bytes serialise in ~9.8 ms, far beyond
+        # the 1 ms grid -- departures would overlap emissions.
+        link = AccessLink(uplink_bps=1_000_000.0)
+        times = self._times()
+        assert link.reserve_uplink_batch(times, np.full(64, 1228)) is None
+        assert link._uplink_free == 0.0
+
+    def test_downlink_batch_refuses_pending_backlog(self):
+        link = AccessLink()
+        link.push_pending_downlink(0.5, 1228)
+        times = self._times()
+        assert link.reserve_downlink_batch(times, np.full(64, 1228)) is None
+
+
+class TestShaperBatch:
+    def test_batch_matches_scalar_loop(self):
+        times = 1.0 + np.arange(32) * 1e-3
+        wire = np.full(32, 600, dtype=np.int64)
+        batched = TokenBucketShaper(rate_bps=10_000_000.0)
+        scalar = TokenBucketShaper(rate_bps=10_000_000.0)
+        releases = batched.submit_batch(times, wire)
+        expected = [scalar.submit(float(t), 600) for t in times.tolist()]
+        assert releases is not None
+        assert releases.tolist() == expected
+        assert batched._virtual_finish == scalar._virtual_finish
+        assert batched.stats.accepted == scalar.stats.accepted
+        assert batched.stats.bytes_accepted == scalar.stats.bytes_accepted
+        assert batched.stats.delayed == scalar.stats.delayed
+
+    def test_batch_refuses_live_bucket_state(self):
+        shaper = TokenBucketShaper(rate_bps=10_000_000.0)
+        # A bucket-depth packet drains the whole burst credit: its
+        # virtual finish lands at "now", intruding into any batch that
+        # starts before the bucket has fully refilled.
+        shaper.submit(1.0, shaper.burst_bytes)
+        finish = shaper._virtual_finish
+        assert finish == 1.0
+        times = 1.0005 + np.arange(8) * 1e-3
+        assert shaper.submit_batch(times, np.full(8, 600)) is None
+        assert shaper._virtual_finish == finish
+        assert shaper.stats.accepted == 1
+
+    def test_batch_refuses_saturating_grid(self):
+        # 1 Mbit/s shaped rate, 600B packets on a 1 ms grid: services
+        # (~4.8 ms) overlap the emission spacing, so the idle-bucket
+        # precondition cannot hold across the train.
+        shaper = TokenBucketShaper(rate_bps=1_000_000.0)
+        times = 1.0 + np.arange(8) * 1e-3
+        assert shaper.submit_batch(times, np.full(8, 600)) is None
+        assert shaper.stats.accepted == 0
+
+
+class TestCaptureBlocks:
+    def _addresses(self):
+        return Address("10.0.0.1", 4000), Address("10.0.0.2", 5000)
+
+    def _packet(self, src, dst, seq):
+        packet_mod._packet_ids = itertools.count(seq + 1)
+        return Packet.fast(src, dst, 1200, PacketKind.MEDIA_VIDEO,
+                           "flow", seq=seq)
+
+    def test_record_block_flattens_to_scalar_rows(self):
+        src, dst = self._addresses()
+        times = 1.0 + np.arange(10) * 1e-3
+        sizes = [1200] * 10
+        wires = [size + HEADER_OVERHEAD_BYTES for size in sizes]
+        block = Capture("block")
+        scalar = Capture("scalar")
+        block.record_block(Direction.OUT, src, dst, Protocol.UDP,
+                           PacketKind.MEDIA_VIDEO, times, wires, sizes,
+                           "flow", packet_id_start=7)
+        for i, stamp in enumerate(times.tolist()):
+            scalar.record(self._packet(src, dst, 6 + i), Direction.OUT, stamp)
+        assert len(block) == len(scalar) == 10
+        assert [tuple(r) for r in block._rows] == \
+            [tuple(r) for r in scalar._rows]
+
+    def test_interleaved_rows_and_blocks_preserve_order(self):
+        src, dst = self._addresses()
+        capture = Capture("mix")
+        capture.record(self._packet(src, dst, 0), Direction.OUT, 0.5)
+        capture.record_block(Direction.OUT, src, dst, Protocol.UDP,
+                             PacketKind.MEDIA_VIDEO, np.array([0.6, 0.7]),
+                             [1228, 1228], [1200, 1200], "flow", 2)
+        capture.record(self._packet(src, dst, 3), Direction.OUT, 0.8)
+        assert len(capture) == 4
+        stamps = [row[0] for row in capture._rows]
+        assert stamps == [0.5, 0.6, 0.7, 0.8]
+        ids = [row[9] for row in capture._rows]
+        assert ids == [1, 2, 3, 4]
+
+    def test_columns_and_iteration_see_block_rows(self):
+        src, dst = self._addresses()
+        capture = Capture("cols")
+        times = np.arange(5) * 1e-3
+        capture.record_block(Direction.IN, src, dst, Protocol.UDP,
+                             PacketKind.MEDIA_VIDEO, times, [1228] * 5,
+                             [1200] * 5, "flow", 1)
+        assert capture.total_payload_bytes(Direction.IN) == 5 * 1200
+        assert capture.span() == (0.0, times[-1])
+        records = list(capture)
+        assert [r.packet_id for r in records] == [1, 2, 3, 4, 5]
+        assert all(r.wire_bytes == 1228 for r in records)
+
+    def test_stopped_capture_ignores_blocks(self):
+        src, dst = self._addresses()
+        capture = Capture("stopped")
+        capture.stop()
+        capture.record_block(Direction.IN, src, dst, Protocol.UDP,
+                             PacketKind.MEDIA_VIDEO, np.array([0.1]),
+                             [1228], [1200], "flow", 1)
+        assert len(capture) == 0

@@ -403,6 +403,75 @@ class TestVideoDecodeEquivalence:
         assert pixel.last_frame is not None
 
 
+class TestDeferredDecodeEquivalence:
+    """Deferred receiver decode: park events, replay at materialise.
+
+    ``defer=True`` runs the freeze/resync metadata machine eagerly but
+    parks all pixel work as an event log; :meth:`materialise` replays it
+    through an internal eager decoder.  Counters must read true at every
+    simulated moment, and each recorder token must resolve to exactly
+    the frame the eager path would have grabbed.
+    """
+
+    def _encoded(self, count=24, gop=6):
+        codec = VideoCodec(SPEC, VideoCodecConfig(gop_size=gop),
+                           target_bps=300_000)
+        return codec.encode_batch(np.stack(LowMotionFeed(SPEC).frames(count)))
+
+    def test_token_replay_bit_identical(self):
+        frames = self._encoded()
+        deferred = VideoDecoder(SPEC, defer=True)
+        eager = VideoDecoder(SPEC, defer=False)
+        expected = []
+        for frame in frames:
+            if frame.index in {3, 13}:  # transport losses
+                assert deferred.mark_lost(frame.index) is None
+                expected.append(eager.mark_lost(frame.index))
+            else:
+                assert deferred.decode(frame) is None
+                expected.append(eager.decode(frame))
+            # The metadata state machine is eager and exact throughout.
+            assert deferred.frames_decoded == eager.frames_decoded
+            assert deferred.frames_frozen == eager.frames_frozen
+            assert deferred.has_output == (eager.frames_decoded > 0)
+        assert deferred.events_seen == len(expected)
+        assert deferred.frame_at_token(0) is None
+        for token, want in enumerate(expected, start=1):
+            got = deferred.frame_at_token(token)
+            if want is None:
+                assert got is None
+            else:
+                assert np.array_equal(got, want)
+        assert np.array_equal(deferred.last_frame, eager.last_frame)
+        assert np.array_equal(deferred._reference, eager._reference)
+
+    def test_materialise_cycles_compose(self):
+        """Mid-stream materialise + further deferral stays exact."""
+        frames = self._encoded(count=20, gop=5)
+        deferred = VideoDecoder(SPEC, defer=True)
+        eager = VideoDecoder(SPEC, defer=False)
+        expected = []
+        for frame in frames[:8]:
+            deferred.decode(frame)
+            expected.append(eager.decode(frame))
+        assert np.array_equal(deferred.last_frame, eager.last_frame)
+        deferred.mark_lost(8)
+        expected.append(eager.mark_lost(8))
+        for frame in frames[9:]:
+            deferred.decode(frame)
+            expected.append(eager.decode(frame))
+        for token, want in enumerate(expected, start=1):
+            got = deferred.frame_at_token(token)
+            if want is None:
+                assert got is None
+            else:
+                assert np.array_equal(got, want)
+
+    def test_defer_requires_pixels(self):
+        assert not VideoDecoder(SPEC, pixels=False, defer=True).defer
+        assert VideoDecoder(SPEC, pixels=True, defer=True).defer
+
+
 class TestBlockKernelProperties:
     def test_stacked_pad_matches_per_frame(self):
         rng = np.random.default_rng(1)
@@ -489,7 +558,7 @@ class TestTransportBatch:
 CLIENTS = ("US-East", "US-East2", "US-Central")
 
 
-def _run_session(codec_batch: bool):
+def _run_session(codec_batch: bool, defer=None):
     """One short A/V session; returns comparable artifact signatures."""
     packet_mod._packet_ids = itertools.count(1)
     testbed = Testbed(TestbedConfig(seed=11))
@@ -507,6 +576,7 @@ def _run_session(codec_batch: bool):
         session_index=0,
         feed_seed=11,
         codec_batch=codec_batch,
+        defer_decode=defer,
     )
     artifacts = testbed.run_session("zoom", list(CLIENTS), "US-East", config)
     captures = {
@@ -538,6 +608,17 @@ class TestSessionRegression:
     def test_batching_on_off_bit_identical(self):
         on = _run_session(True)
         off = _run_session(False)
+        assert on["captures"] == off["captures"]
+        assert on["qoe_inputs"] == off["qoe_inputs"]
+        assert on["waveforms"] == off["waveforms"]
+        assert on["rng_state"] == off["rng_state"]
+        assert on["now"] == off["now"]
+        assert on["rates"] == off["rates"]
+
+    def test_defer_decode_on_off_bit_identical(self):
+        """Parking receiver decodes must not move a single artifact."""
+        on = _run_session(True, defer=True)
+        off = _run_session(True, defer=False)
         assert on["captures"] == off["captures"]
         assert on["qoe_inputs"] == off["qoe_inputs"]
         assert on["waveforms"] == off["waveforms"]

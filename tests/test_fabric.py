@@ -159,6 +159,24 @@ class TestScheduler:
         assert FabricConfig(executor="spawn", workers=1,
                             shard_size=5).resolve_shard_size(64) == 5
 
+    def test_adaptive_shard_sizing_from_rate(self):
+        spawn = FabricConfig(executor="spawn", workers=2)
+        # No throughput estimate yet: the static heuristic.
+        assert spawn.resolve_shard_size(64, None) == 8
+        # 8 cells/s over 2 workers at 2s-of-work units -> 8 cells each.
+        assert spawn.resolve_shard_size(64, 8.0) == 8
+        # Slow cells requeue as single-cell units.
+        assert spawn.resolve_shard_size(64, 0.5) == 1
+        # Fast cells clamp at the monopolisation cap...
+        assert spawn.resolve_shard_size(1000, 400.0) == 16
+        # ...and never exceed the work actually pending.
+        assert spawn.resolve_shard_size(3, 400.0) == 3
+        # Explicit shard_size still wins; pool stays single-cell.
+        assert FabricConfig(executor="spawn", workers=2,
+                            shard_size=5).resolve_shard_size(64, 8.0) == 5
+        assert FabricConfig(executor="pool",
+                            workers=4).resolve_shard_size(64, 8.0) == 1
+
     def test_checkpoint_cleared_on_completion(self, tmp_path):
         spec = calibration_campaign(cells=3, name="ckpt")
         path = str(tmp_path / "c.jsonl")
@@ -258,6 +276,55 @@ class TestStreamingAggregation:
         assert aggregator.failed_count == 0
         assert "## Failures" not in aggregator.build_report().render()
 
+    def record_of(self, spec, cell, status="ok"):
+        from repro.campaign import CellRecord
+
+        return CellRecord(
+            cell_id=cell.cell_id, kind=cell.kind,
+            params=dict(cell.params), seed=cell.seed,
+            spec_hash=spec.spec_hash(), status=status,
+            metrics={"index": cell.params["index"], "value": 1}
+            if status == "ok" else None,
+            error=None if status == "ok" else "boom",
+        )
+
+    def test_cells_per_s_property(self):
+        spec = calibration_campaign(cells=4, name="rate")
+        cells = spec.expand()
+        aggregator = StreamingAggregator(spec)
+        assert aggregator.cells_per_s is None
+        for index, cell in enumerate(cells[:3]):
+            aggregator.fold(self.record_of(spec, cell),
+                            arrival=float(index))
+        assert aggregator.cells_per_s == pytest.approx(1.0)
+
+    def test_seed_does_not_fabricate_a_rate(self, tmp_path):
+        spec = calibration_campaign(cells=6, name="seeded")
+        path = str(tmp_path / "s.jsonl")
+        run_campaign(spec, path, workers=1)
+        aggregator = StreamingAggregator(spec)
+        aggregator.seed(open_store(path).cell_records())
+        # Replaying history in a tight loop must not look like
+        # thousands of cells/s to the adaptive shard sizing.
+        assert aggregator.cells_per_s is None
+
+    def test_kind_deltas_dirty_tracking(self):
+        spec = calibration_campaign(cells=3, name="deltas")
+        cells = spec.expand()
+        aggregator = StreamingAggregator(spec)
+        assert aggregator.kind_deltas() == []
+        aggregator.fold(self.record_of(spec, cells[0], status="error"))
+        assert aggregator.kind_deltas() == [("noop", 0, 1)]
+        # Quiet between calls: nothing to report, nothing recomputed.
+        assert aggregator.kind_deltas() == []
+        # The retry's ok supersedes the failure and lands a cell.
+        aggregator.fold(self.record_of(spec, cells[0]))
+        aggregator.fold(self.record_of(spec, cells[1]))
+        assert aggregator.kind_deltas() == [("noop", 2, -1)]
+        # A duplicate ok for the same cell moves no distinct counts.
+        aggregator.fold(self.record_of(spec, cells[1]))
+        assert aggregator.kind_deltas() == []
+
 
 class TestWatch:
     def test_watch_once_renders_progress(self, tmp_path, capsys):
@@ -292,6 +359,63 @@ class TestWatch:
         with pytest.raises(CampaignError):
             watch_store(str(tmp_path / "absent.jsonl"), once=True)
 
+    def test_watch_renders_kind_deltas_between_ticks(self, tmp_path):
+        import io
+        import threading
+
+        from repro.campaign import CellRecord
+
+        spec = calibration_campaign(cells=4, name="moves")
+        cells = spec.expand()
+
+        def record(cell):
+            return CellRecord(
+                cell_id=cell.cell_id, kind=cell.kind,
+                params=dict(cell.params), seed=cell.seed,
+                spec_hash=spec.spec_hash(),
+                metrics={"index": cell.params["index"], "value": 1},
+            )
+
+        path = str(tmp_path / "d.jsonl")
+        writer = open_store(path)
+        writer.initialise(spec)
+        for cell in cells[:2]:
+            writer.append_cell(record(cell))
+        writer.flush()
+
+        first_tick = threading.Event()
+
+        class TickStream(io.StringIO):
+            def write(self, text):
+                result = super().write(text)
+                first_tick.set()
+                return result
+
+        def finish():
+            # Only append once the watcher has printed its baseline
+            # tick, so the remaining cells are guaranteed to arrive
+            # *between* ticks.
+            first_tick.wait(timeout=10.0)
+            for cell in cells[2:]:
+                writer.append_cell(record(cell))
+            writer.close()
+
+        appender = threading.Thread(target=finish)
+        appender.start()
+        stream = TickStream()
+        try:
+            snapshot = watch_store(
+                path, interval_s=0.02, stream=stream, max_ticks=200
+            )
+        finally:
+            appender.join()
+        assert snapshot.complete
+        out = stream.getvalue()
+        # Tick blocks each start with the campaign banner line.
+        ticks = out.split("campaign 'moves'")
+        assert "delta" not in ticks[1]  # baseline tick: no movement
+        assert "delta noop       +2 ok" in out
+
 
 class TestFabricCli:
     def test_calibration_run_and_watch(self, tmp_path, capsys):
@@ -316,6 +440,29 @@ class TestFabricCli:
         ]) == 0
         assert "campaign 'fromjson'" in capsys.readouterr().out
         assert open_store(store).spec_hash() == spec.spec_hash()
+
+    def test_gc_subcommand(self, tmp_path, capsys):
+        flag = str(tmp_path / "crash.flag")
+        spec = calibration_campaign(cells=3, crash_flags=(flag,),
+                                    name="gccli")
+        spec_path = str(tmp_path / "spec.json")
+        spec.save(spec_path)
+        store = str(tmp_path / "gc.jsonl")
+        # First run records an error for the crash cell; the resume's
+        # retry supersedes it, leaving debris for gc to drop.
+        main(["campaign", "run", "--spec-json", spec_path,
+              "--store", store, "--workers", "2", "--executor", "pool",
+              "--max-attempts", "1"])
+        assert main(["campaign", "run", "--spec-json", spec_path,
+                     "--store", store, "--resume"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "gc", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "dropped 1 superseded error record" in out
+        store_obj = open_store(store)
+        # Post-gc the store holds exactly one ok record per cell.
+        assert len(store_obj.cell_records()) == spec.cell_count()
+        assert len(store_obj.completed_ids()) == spec.cell_count()
 
     def test_status_and_report_on_sqlite(self, tmp_path, capsys):
         store = str(tmp_path / "cli.sqlite")

@@ -195,6 +195,95 @@ class TestStoreContract:
         assert again.executed == 0 and again.skipped == 4
 
 
+class TestGc:
+    """``campaign gc``: compaction is part of the store contract."""
+
+    def test_gc_drops_superseded_errors(self, store_path):
+        spec = spec_of(cells=4, name="gc")
+        cells = spec.expand()
+        store = open_store(store_path)
+        store.initialise(spec)
+        store.append_cell(record_for(cells[0], spec, status="error"))
+        store.append_cell(record_for(cells[0], spec))  # retry's ok
+        store.append_cell(record_for(cells[1], spec, status="error"))
+        store.append_cell(record_for(cells[2], spec))
+        store.close()
+
+        stats = open_store(store_path).gc()
+        assert stats.errors_dropped == 1
+        assert stats.records_kept == 3
+        assert stats.reclaimed
+
+        reopened = open_store(store_path)
+        assert reopened.spec_hash() == spec.spec_hash()  # header survives
+        records = reopened.cell_records()
+        assert len(records) == 3
+        # The live failure (no superseding ok) is untouched.
+        statuses = {r.cell_id: r.status for r in records}
+        assert statuses[cells[1].cell_id] == "error"
+        assert reopened.completed_ids() == {
+            cells[0].cell_id, cells[2].cell_id
+        }
+
+    def test_gc_is_idempotent_and_resume_safe(self, store_path):
+        spec = spec_of(cells=3, name="gcresume")
+        cells = spec.expand()
+        store = open_store(store_path)
+        store.initialise(spec)
+        store.append_cell(record_for(cells[0], spec, status="error"))
+        store.append_cell(record_for(cells[0], spec))
+        store.close()
+
+        assert open_store(store_path).gc().errors_dropped == 1
+        second = open_store(store_path).gc()
+        assert second.errors_dropped == 0
+        assert not second.reclaimed
+        # A resume still runs exactly the genuinely-pending cells.
+        summary = run_campaign(spec, store_path, workers=1, resume=True)
+        assert summary.skipped == 1 and summary.executed == 2
+        assert open_store(store_path).completed_ids() == {
+            c.cell_id for c in cells
+        }
+
+    def test_gc_missing_store_errors(self, store_path):
+        with pytest.raises(CampaignError):
+            open_store(store_path).gc()
+
+    @pytest.mark.parametrize("backend", ["jsonl", "shards"], indirect=True)
+    def test_gc_heals_torn_tail(self, store_path, backend):
+        spec = spec_of(cells=3, name="gctorn")
+        cells = spec.expand()
+        store = open_store(store_path)
+        store.initialise(spec)
+        for cell in cells:
+            store.append_cell(record_for(cell, spec))
+        store.close()
+        target = (
+            store_path if backend == "jsonl"
+            else os.path.join(
+                store_path,
+                f"shard-{shard_index(cells[0].cell_id, open_store(store_path).shard_count()):03d}.jsonl",
+            )
+        )
+        debris = '{"type": "cell", "cell_id": "noop:torn'
+        with open(target, "a", encoding="utf-8") as handle:
+            handle.write(debris)
+
+        stats = open_store(store_path).gc()
+        assert stats.debris_bytes == len(debris)
+        assert stats.records_kept == 3
+        # The file really is clean now: raw bytes end on a newline.
+        with open(target, "rb") as handle:
+            assert handle.read().endswith(b"\n")
+        reopened = open_store(store_path)
+        assert reopened.completed_ids() == {c.cell_id for c in cells}
+        # Appending after gc still works (fresh handle, clean tail).
+        writer = open_store(store_path)
+        writer.append_cell(record_for(cells[0], spec))
+        writer.close()
+        assert len(open_store(store_path).cell_records()) == 4
+
+
 class TestCrashDebris:
     """Corruption semantics, per backend."""
 
