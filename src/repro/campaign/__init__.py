@@ -50,13 +50,22 @@ from .aggregate import (
     table_for,
 )
 from .fabric import (
+    FAULT_CLASSES,
     CampaignScheduler,
+    ChaosCaseResult,
     FabricConfig,
+    FaultPlan,
+    FaultSpec,
+    GcSelfCheckResult,
     ProgressSnapshot,
     SelfCheckResult,
     StreamingAggregator,
+    backoff_delay,
     make_executor,
     run_all_selfchecks,
+    run_chaos_case,
+    run_chaos_matrix,
+    run_gc_selfcheck,
     run_selfcheck,
     watch_store,
 )
@@ -104,8 +113,13 @@ __all__ = [
     "CampaignStore",
     "CampaignStoreBase",
     "CellRecord",
+    "ChaosCaseResult",
     "DurabilityPolicy",
+    "FAULT_CLASSES",
     "FabricConfig",
+    "FaultPlan",
+    "FaultSpec",
+    "GcSelfCheckResult",
     "GcStats",
     "JsonlCampaignStore",
     "KIND_TABLES",
@@ -119,6 +133,7 @@ __all__ = [
     "SqliteCampaignStore",
     "StreamingAggregator",
     "TableSpec",
+    "backoff_delay",
     "build_report",
     "calibration_campaign",
     "derive_seed",
@@ -132,6 +147,9 @@ __all__ = [
     "resolve_backend",
     "run_all_selfchecks",
     "run_campaign",
+    "run_chaos_case",
+    "run_chaos_matrix",
+    "run_gc_selfcheck",
     "run_selfcheck",
     "smoke_campaign",
     "status_table",

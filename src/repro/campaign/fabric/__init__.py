@@ -13,9 +13,16 @@ grid is too big for one process and one sitting:
 * :mod:`~repro.campaign.fabric.watch` -- read-only live status over
   any store backend,
 * :mod:`~repro.campaign.fabric.selfcheck` -- the kill/resume
-  equivalence proof CI runs per backend.
+  equivalence proof CI runs per backend,
+* :mod:`~repro.campaign.fabric.faults` -- the deterministic
+  fault-injection plane (seeded fault plans, cross-process
+  exactly-N-times firing, deterministic retry backoff),
+* :mod:`~repro.campaign.fabric.chaos` -- the chaos matrix: every
+  fault class against every backend, judged by bit-identity with a
+  clean reference run.
 """
 
+from .chaos import FAULT_CLASSES, ChaosCaseResult, run_chaos_case, run_chaos_matrix
 from .executors import (
     EXECUTORS,
     CellDone,
@@ -27,17 +34,34 @@ from .executors import (
     WorkUnit,
     make_executor,
 )
+from .faults import FaultPlan, FaultSpec, backoff_delay
 from .scheduler import CampaignScheduler, FabricConfig
-from .selfcheck import SelfCheckResult, run_all_selfchecks, run_selfcheck
+from .selfcheck import (
+    GcSelfCheckResult,
+    SelfCheckResult,
+    run_all_selfchecks,
+    run_gc_selfcheck,
+    run_selfcheck,
+)
 from .streaming import ProgressSnapshot, StreamingAggregator
-from .watch import render_snapshot, watch_store
+from .watch import (
+    load_fabric_health,
+    render_fabric_health,
+    render_snapshot,
+    watch_store,
+)
 
 __all__ = [
     "EXECUTORS",
+    "FAULT_CLASSES",
     "CampaignScheduler",
     "CellDone",
+    "ChaosCaseResult",
     "ExecutorBase",
     "FabricConfig",
+    "FaultPlan",
+    "FaultSpec",
+    "GcSelfCheckResult",
     "InlineExecutor",
     "LocalWorkerFabricExecutor",
     "ProcessPoolFabricExecutor",
@@ -46,9 +70,15 @@ __all__ = [
     "StreamingAggregator",
     "UnitFailed",
     "WorkUnit",
+    "backoff_delay",
+    "load_fabric_health",
     "make_executor",
+    "render_fabric_health",
     "render_snapshot",
-    "run_all_selfchecks",
+    "run_chaos_case",
+    "run_chaos_matrix",
+    "run_gc_selfcheck",
     "run_selfcheck",
+    "run_all_selfchecks",
     "watch_store",
 ]

@@ -60,11 +60,20 @@ class UnitFailed:
 
     ``pending`` holds the payloads that produced no result; the
     scheduler requeues or error-records them by retry budget.
+
+    ``worker_death`` marks failures where the worker *executing this
+    unit* actually died (crash or timeout-kill), as opposed to
+    collateral damage (a shared pool resetting under an innocent unit)
+    or an orderly abandon.  The scheduler's poison-cell accounting
+    attributes a kill to the unit's first unfinished cell only when
+    this is set, so innocents never accumulate kills toward
+    quarantine.
     """
 
     unit_id: int
     pending: "tuple[Dict[str, Any], ...]"
     reason: str
+    worker_death: bool = False
 
 
 Event = Any
@@ -95,6 +104,17 @@ class ExecutorBase:
         """Units submitted but not yet fully reported."""
         raise NotImplementedError
 
+    def abandon(self) -> List["UnitFailed"]:
+        """Surrender every queued and in-flight unit.
+
+        Returns one ``UnitFailed`` per surrendered unit (with
+        ``worker_death=False`` -- this is an orderly handoff, not a
+        crash) and forgets them, so the scheduler can resubmit the
+        pending payloads elsewhere.  Used by the crash-loop breaker
+        when it degrades a dying executor to ``inline``.
+        """
+        raise NotImplementedError
+
     def shutdown(self) -> None:
         """Release worker resources (idempotent)."""
 
@@ -123,6 +143,14 @@ class InlineExecutor(ExecutorBase):
 
     def outstanding(self) -> int:
         return len(self._queue)
+
+    def abandon(self) -> List[UnitFailed]:
+        events = [
+            UnitFailed(unit.unit_id, unit.payloads, "executor abandoned")
+            for unit in self._queue
+        ]
+        self._queue.clear()
+        return events
 
 
 @dataclass
@@ -158,9 +186,15 @@ class ProcessPoolFabricExecutor(ExecutorBase):
         future = self._pool.submit(execute_unit, list(unit.payloads))
         self._futures[future] = _TrackedFuture(unit)
 
-    def _fail_outstanding(self, reason: str) -> List[Event]:
+    def _fail_outstanding(self, reason: str,
+                          death_ids: "frozenset[int]" = frozenset()
+                          ) -> List[Event]:
+        # Only the units whose worker actually died (``death_ids``)
+        # carry worker_death; the rest are collateral of the shared
+        # pool resetting and must not count toward poison quarantine.
         events: List[Event] = [
-            UnitFailed(t.unit.unit_id, t.unit.payloads, reason)
+            UnitFailed(t.unit.unit_id, t.unit.payloads, reason,
+                       worker_death=t.unit.unit_id in death_ids)
             for t in self._futures.values()
         ]
         self._futures.clear()
@@ -197,7 +231,7 @@ class ProcessPoolFabricExecutor(ExecutorBase):
                 broken = True
                 events.append(
                     UnitFailed(unit.unit_id, unit.payloads,
-                               "worker process died")
+                               "worker process died", worker_death=True)
                 )
             except Exception as exc:  # noqa: BLE001 - executor fault
                 events.append(
@@ -214,7 +248,7 @@ class ProcessPoolFabricExecutor(ExecutorBase):
             return events
         if self.cell_timeout_s is not None:
             now = time.monotonic()
-            expired = False
+            expired: "set[int]" = set()
             for future, tracked in self._futures.items():
                 if future.running() and tracked.running_since is None:
                     tracked.running_since = now
@@ -222,20 +256,30 @@ class ProcessPoolFabricExecutor(ExecutorBase):
                     tracked.running_since is not None
                     and now - tracked.running_since > self.cell_timeout_s
                 ):
-                    expired = True
+                    expired.add(tracked.unit.unit_id)
             if expired:
                 # One shared pool: killing the stuck worker kills the
                 # pool, so every in-flight unit restarts on the fresh
                 # one (their completed cells were already reported).
+                # Only the expired units count as worker deaths.
                 events.extend(self._fail_outstanding(
                     f"cell timeout after {self.cell_timeout_s:.1f}s "
-                    "(pool reset)"
+                    "(pool reset)", death_ids=frozenset(expired)
                 ))
                 self._rebuild_pool()
         return events
 
     def outstanding(self) -> int:
         return len(self._futures)
+
+    def abandon(self) -> List[UnitFailed]:
+        events = [
+            UnitFailed(t.unit.unit_id, t.unit.payloads,
+                       "executor abandoned")
+            for t in self._futures.values()
+        ]
+        self._futures.clear()
+        return events
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -384,8 +428,12 @@ class LocalWorkerFabricExecutor(ExecutorBase):
                     payload for payload in slot.unit.payloads
                     if payload["cell_id"] not in slot.reported
                 )
+                # This worker owned the unit outright, so both death
+                # and timeout-kill are real worker deaths; cells run
+                # in order, so pending[0] is the cell it died under.
                 events.append(
-                    UnitFailed(slot.unit.unit_id, pending, reason)
+                    UnitFailed(slot.unit.unit_id, pending, reason,
+                               worker_death=True)
                 )
             self._slots[index] = self._spawn_slot()
         self._dispatch()
@@ -395,6 +443,26 @@ class LocalWorkerFabricExecutor(ExecutorBase):
         return len(self._pending) + sum(
             1 for slot in self._slots if slot.unit is not None
         )
+
+    def abandon(self) -> List[UnitFailed]:
+        events = [
+            UnitFailed(unit.unit_id, unit.payloads, "executor abandoned")
+            for unit in self._pending
+        ]
+        self._pending.clear()
+        for slot in self._slots:
+            if slot.unit is None:
+                continue
+            pending = tuple(
+                payload for payload in slot.unit.payloads
+                if payload["cell_id"] not in slot.reported
+            )
+            events.append(
+                UnitFailed(slot.unit.unit_id, pending,
+                           "executor abandoned")
+            )
+            slot.unit = None
+        return events
 
     def shutdown(self) -> None:
         for slot in self._slots:

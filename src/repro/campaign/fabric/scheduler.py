@@ -9,12 +9,18 @@
 * dispatches through any :class:`ExecutorBase` and folds events --
   cells append to the store *as they arrive*, unit failures (worker
   crash, timeout) consume one retry attempt per pending cell and
-  requeue,
+  requeue *after a deterministic exponential backoff*,
 * exhausted retry budgets become synthesized error records, so the
   campaign always terminates with one final outcome per cell,
-* persists a checkpoint sidecar (attempt counts) atomically alongside
-  the store, so ``--resume`` after a SIGKILL continues mid-grid with
-  the retry budget intact,
+* detects poison cells -- a cell whose worker deaths reach
+  ``poison_threshold`` is quarantined with a ``fabric:poison`` record
+  instead of burning more respawns -- and breaks crash loops by
+  degrading a repeatedly-dying ``pool``/``spawn`` executor to
+  ``inline`` with a loud warning,
+* persists a checkpoint sidecar (attempt counts, quarantine state,
+  degradation, live backoff waits) atomically alongside the store, so
+  ``--resume`` after a SIGKILL continues mid-grid with the retry
+  budget *and quarantine decisions* intact,
 * streams every record through a
   :class:`~repro.campaign.fabric.streaming.StreamingAggregator`, so
   paper tables and progress are live during the run.
@@ -29,16 +35,24 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ...errors import CampaignError
 from ..runner import CampaignRunSummary, ProgressFn, _cell_payload
 from ..spec import CampaignSpec
 from ..store import DurabilityPolicy, CellRecord
 from ..stores import open_store
-from .executors import CellDone, UnitFailed, WorkUnit, make_executor
+from .executors import (
+    CellDone,
+    InlineExecutor,
+    UnitFailed,
+    WorkUnit,
+    make_executor,
+)
+from .faults import backoff_delay
 from .streaming import StreamingAggregator
 
 #: Checkpoint sidecar name (lives next to / inside the store).
@@ -71,6 +85,18 @@ class FabricConfig:
         shards: Shard count for the sharded-directory backend.
         poll_interval_s: Executor poll granularity.
         checkpoint_every: Events between checkpoint writes.
+        backoff_base_s: First-retry backoff scale; retries wait
+            ``min(cap, base * 2**(attempt-1))`` scaled by a
+            deterministic jitter in ``[0.5, 1.0)`` derived from
+            ``(master_seed, cell_id, attempt)``.
+        backoff_cap_s: Upper bound the retry backoff saturates at.
+        poison_threshold: Worker deaths attributed to one cell before
+            it is quarantined (a synthesized ``fabric:poison`` error
+            record, persisted in the checkpoint sidecar) instead of
+            burning more respawns and retry budget.
+        crashloop_threshold: Consecutive worker-death polls with zero
+            completed cells before the breaker degrades a ``pool``/
+            ``spawn`` executor to ``inline`` with a loud warning.
     """
 
     workers: int = 1
@@ -82,6 +108,10 @@ class FabricConfig:
     shards: Optional[int] = None
     poll_interval_s: float = 0.25
     checkpoint_every: int = 8
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    poison_threshold: int = 3
+    crashloop_threshold: int = 5
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -95,6 +125,18 @@ class FabricConfig:
         if self.shard_size is not None and self.shard_size < 1:
             raise CampaignError(
                 f"shard_size must be >= 1, got {self.shard_size}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise CampaignError("backoff delays must be >= 0")
+        if self.poison_threshold < 1:
+            raise CampaignError(
+                f"poison_threshold must be >= 1, got "
+                f"{self.poison_threshold}"
+            )
+        if self.crashloop_threshold < 1:
+            raise CampaignError(
+                f"crashloop_threshold must be >= 1, got "
+                f"{self.crashloop_threshold}"
             )
 
     def resolve_shard_size(self, pending: int,
@@ -140,6 +182,18 @@ class CampaignScheduler:
         self.aggregator = StreamingAggregator(spec)
         self._attempts: Dict[str, int] = {}
         self._events_since_checkpoint = 0
+        #: Worker deaths attributed per cell (poison accounting).
+        self._worker_kills: Dict[str, int] = {}
+        #: Cells quarantined as poison (never requeued again).
+        self._quarantined: "set[str]" = set()
+        #: Degradation note once the crash-loop breaker has fired.
+        self._degraded: Optional[str] = None
+        #: Retry payloads waiting out their backoff:
+        #: ``(ready_at_monotonic, payload)``.
+        self._backoff: List[Tuple[float, Dict[str, Any]]] = []
+        #: Consecutive worker-death polls without a completed cell.
+        self._death_streak = 0
+        self._executor: Any = None
 
     # -- checkpointing ---------------------------------------------------
 
@@ -150,6 +204,11 @@ class CampaignScheduler:
         path = self._checkpoint_path(store)
         if not os.path.exists(path):
             return
+        if os.environ.get("REPRO_FAULT_PLAN"):
+            # Fault site: scribble over the sidecar just before the
+            # load, proving the tolerance path below.
+            from .faults import fire_checkpoint_corrupt
+            fire_checkpoint_corrupt(path)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 state = json.load(handle)
@@ -163,13 +222,37 @@ class CampaignScheduler:
                 str(cell_id): int(count)
                 for cell_id, count in attempts.items()
             }
+        kills = state.get("kills", {})
+        if isinstance(kills, dict):
+            self._worker_kills = {
+                str(cell_id): int(count)
+                for cell_id, count in kills.items()
+            }
+        quarantined = state.get("quarantined", [])
+        if isinstance(quarantined, list):
+            self._quarantined = {str(cell_id) for cell_id in quarantined}
+        # ``degraded`` and ``backoff`` are per-run observability state
+        # (surfaced by ``campaign watch``); a fresh run starts clean.
 
     def _save_checkpoint(self, store: Any) -> None:
         path = self._checkpoint_path(store)
+        now_monotonic = time.monotonic()
+        now_wall = time.time()
         state = {
             "spec_hash": self.spec.spec_hash(),
             "attempts": self._attempts,
-            "updated_at": time.time(),
+            "kills": self._worker_kills,
+            "quarantined": sorted(self._quarantined),
+            "degraded": self._degraded,
+            # Wall-clock deadlines so an outside watcher can render
+            # "how long until the retry" without our monotonic base.
+            "backoff": {
+                payload["cell_id"]: round(
+                    now_wall + max(0.0, ready_at - now_monotonic), 3
+                )
+                for ready_at, payload in self._backoff
+            },
+            "updated_at": now_wall,
         }
         tmp = f"{path}.tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
@@ -191,11 +274,18 @@ class CampaignScheduler:
             progress: Optional[ProgressFn] = None) -> CampaignRunSummary:
         """Execute the campaign; see :func:`repro.campaign.run_campaign`."""
         config = self.config
+        if os.environ.get("REPRO_FAULT_PLAN"):
+            # A plan inherited through the environment (a CLI subprocess
+            # under chaos) has no recorded parent yet; claim it so the
+            # worker-only fault sites never SIGKILL the orchestrator.
+            from .faults import PARENT_PID_ENV
+            os.environ.setdefault(PARENT_PID_ENV, str(os.getpid()))
         store = open_store(
             self.store_path, durability=config.durability,
             shards=config.shards,
         )
         completed: set = set()
+        recorded: set = set()
         if store.exists():
             if not resume:
                 raise CampaignError(
@@ -204,15 +294,24 @@ class CampaignScheduler:
                     "choose a new path"
                 )
             store.verify_spec(self.spec)
-            completed = store.completed_ids()
-            self.aggregator.seed(store.cell_records())
+            records = store.cell_records()
+            completed = {r.cell_id for r in records if r.ok}
+            recorded = {r.cell_id for r in records}
+            self.aggregator.seed(records)
             self._load_checkpoint(store)
         else:
             store.initialise(self.spec)
 
         cells = self.spec.expand()
         spec_hash = self.spec.spec_hash()
-        pending = [c for c in cells if c.cell_id not in completed]
+        # Quarantined cells stay out of the grid on resume: the
+        # checkpoint remembers the poison verdict, so a resumed run
+        # never burns fresh workers rediscovering it.
+        pending = [
+            c for c in cells
+            if c.cell_id not in completed
+            and c.cell_id not in self._quarantined
+        ]
         summary = CampaignRunSummary(
             total=len(cells),
             skipped=len(cells) - len(pending),
@@ -235,6 +334,19 @@ class CampaignScheduler:
                          len(cells))
 
         try:
+            # A quarantined cell normally already has its poison record
+            # (appended before the checkpoint was saved); if the record
+            # was lost to a crash between append and fsync, re-settle
+            # it so the campaign still terminates with one final
+            # outcome per cell.
+            for cell in cells:
+                if (
+                    cell.cell_id in self._quarantined
+                    and cell.cell_id not in recorded
+                ):
+                    record_result(self._poison_payload(
+                        _cell_payload(cell, self.spec, spec_hash)
+                    ))
             if pending:
                 self._dispatch_loop(
                     store, pending, spec_hash, record_result, summary
@@ -246,68 +358,193 @@ class CampaignScheduler:
         finally:
             store.close()
         summary.duration_s = time.perf_counter() - start
+        summary.quarantined = len(self._quarantined)
+        summary.degraded = self._degraded
         return summary
 
     def _dispatch_loop(self, store: Any, pending: List[Any],
                        spec_hash: str, record_result: Any,
                        summary: CampaignRunSummary) -> None:
         config = self.config
-        executor = make_executor(
+        self._executor = make_executor(
             config.executor, config.workers, config.cell_timeout_s
         )
         next_unit_id = 0
 
         def submit(payloads: List[Dict[str, Any]]) -> None:
             nonlocal next_unit_id
+            payloads = [
+                p for p in payloads
+                if p["cell_id"] not in self._quarantined
+            ]
+            if not payloads:
+                return
             # Re-resolved per submit: the initial batch uses the static
             # heuristic, requeues adapt to the observed cell rate.
             shard_size = config.resolve_shard_size(
                 len(payloads), self.aggregator.cells_per_s
             )
             for index in range(0, len(payloads), shard_size):
-                executor.submit(WorkUnit(
+                self._executor.submit(WorkUnit(
                     unit_id=next_unit_id,
                     payloads=tuple(payloads[index:index + shard_size]),
                 ))
                 next_unit_id += 1
 
         try:
-            executor.start()
+            self._executor.start()
             submit([
                 _cell_payload(cell, self.spec, spec_hash)
                 for cell in pending
             ])
-            while executor.outstanding():
-                events = executor.poll(config.poll_interval_s)
-                requeue: List[Dict[str, Any]] = []
+            while self._executor.outstanding() or self._backoff:
+                now = time.monotonic()
+                if self._backoff:
+                    ready = [p for t, p in self._backoff if t <= now]
+                    if ready:
+                        self._backoff = [
+                            (t, p) for t, p in self._backoff if t > now
+                        ]
+                        submit(ready)
+                if not self._executor.outstanding():
+                    # Everything left is waiting out a backoff.
+                    next_ready = min(t for t, _ in self._backoff)
+                    time.sleep(min(config.poll_interval_s,
+                                   max(0.0, next_ready - now)))
+                    continue
+                events = self._executor.poll(config.poll_interval_s)
+                saw_done = False
+                saw_death = False
                 for event in events:
                     self._events_since_checkpoint += 1
                     if isinstance(event, CellDone):
+                        saw_done = True
                         record_result(event.result)
                     elif isinstance(event, UnitFailed):
-                        requeue.extend(
-                            self._absorb_failure(event, record_result,
-                                                 summary)
-                        )
-                if requeue:
-                    submit(requeue)
+                        saw_death = saw_death or event.worker_death
+                        self._absorb_failure(store, event, record_result,
+                                             summary)
+                # Crash-loop accounting: a poll that completed any cell
+                # is progress; a poll that only killed workers is one
+                # step toward the breaker.
+                if saw_done:
+                    self._death_streak = 0
+                elif saw_death:
+                    self._death_streak += 1
+                if (
+                    self._death_streak >= config.crashloop_threshold
+                    and self._executor.name != InlineExecutor.name
+                ):
+                    submit(self._degrade_executor(store, summary))
                 if self._events_since_checkpoint >= config.checkpoint_every:
                     self._save_checkpoint(store)
         finally:
-            executor.shutdown()
+            self._executor.shutdown()
+            self._executor = None
 
-    def _absorb_failure(self, event: UnitFailed, record_result: Any,
-                        summary: CampaignRunSummary
-                        ) -> List[Dict[str, Any]]:
-        """Spend one attempt per pending cell; requeue or error out."""
-        requeue: List[Dict[str, Any]] = []
+    def _degrade_executor(self, store: Any,
+                          summary: CampaignRunSummary
+                          ) -> List[Dict[str, Any]]:
+        """Break a crash loop: swap the dying executor for ``inline``.
+
+        The old executor surrenders its queued and in-flight work
+        (no retry attempts are charged -- the loop is the executor's
+        fault, not the cells'), and the surrendered payloads run
+        in-process instead of respawning workers forever.  Loud on
+        purpose: silent degradation would hide a real infrastructure
+        problem.
+        """
+        old = self._executor
+        abandoned = old.abandon()
+        old.shutdown()
+        self._degraded = (
+            f"{old.name}->inline after {self._death_streak} consecutive "
+            "worker-death polls with no completed cells"
+        )
+        summary.degraded = self._degraded
+        print(
+            f"fabric WARNING: crash-loop breaker tripped -- executor "
+            f"{old.name!r} lost workers on "
+            f"{self._death_streak} consecutive polls without completing "
+            "a cell; degrading to 'inline' (in-process) for the rest of "
+            "the run",
+            file=sys.stderr, flush=True,
+        )
+        self._death_streak = 0
+        self._executor = InlineExecutor(
+            cell_timeout_s=self.config.cell_timeout_s
+        )
+        self._executor.start()
+        self._save_checkpoint(store)
+        return [
+            payload for event in abandoned for payload in event.pending
+        ]
+
+    def _poison_payload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """The synthesized error record for a quarantined cell."""
+        kills = self._worker_kills.get(payload["cell_id"], 0)
+        return {
+            "cell_id": payload["cell_id"],
+            "kind": payload["kind"],
+            "params": dict(payload["params"]),
+            "seed": int(payload["seed"]),
+            "spec_hash": payload["spec_hash"],
+            "status": "error",
+            "metrics": None,
+            "error": (
+                f"fabric:poison cell killed {kills} workers "
+                f"(threshold {self.config.poison_threshold}); quarantined"
+            ),
+            "duration_s": 0.0,
+            "finished_at": time.time(),
+            "worker": 0,
+        }
+
+    def _absorb_failure(self, store: Any, event: UnitFailed,
+                        record_result: Any,
+                        summary: CampaignRunSummary) -> None:
+        """Fold one unit failure into retry/poison/error bookkeeping.
+
+        Worker deaths are attributed to the unit's first unfinished
+        cell (cells run in order, so that is the one the worker died
+        under); a cell whose kills reach ``poison_threshold`` is
+        quarantined with a synthesized ``fabric:poison`` record and an
+        immediate checkpoint.  Everything else spends one retry
+        attempt and, if budget remains, waits out a deterministic
+        exponential backoff before requeueing.
+        """
+        config = self.config
+        victim = (
+            event.pending[0]["cell_id"]
+            if event.worker_death and event.pending else None
+        )
         for payload in event.pending:
             cell_id = payload["cell_id"]
+            if cell_id in self._quarantined:
+                continue  # verdict already recorded
+            if cell_id == victim:
+                kills = self._worker_kills.get(cell_id, 0) + 1
+                self._worker_kills[cell_id] = kills
+                if kills >= config.poison_threshold:
+                    record_result(self._poison_payload(payload))
+                    self._quarantined.add(cell_id)
+                    summary.quarantined += 1
+                    # Checkpoint *now*: the quarantine verdict must
+                    # survive a SIGKILL, or a resume would burn fresh
+                    # workers rediscovering the poison.
+                    self._save_checkpoint(store)
+                    continue
             attempts = self._attempts.get(cell_id, 0) + 1
             self._attempts[cell_id] = attempts
-            if attempts < self.config.max_attempts:
+            if attempts < config.max_attempts:
                 summary.retried += 1
-                requeue.append(payload)
+                delay = backoff_delay(
+                    cell_id, attempts,
+                    base_s=config.backoff_base_s,
+                    cap_s=config.backoff_cap_s,
+                    seed=self.spec.master_seed,
+                )
+                self._backoff.append((time.monotonic() + delay, payload))
             else:
                 record_result({
                     "cell_id": cell_id,
@@ -319,10 +556,9 @@ class CampaignScheduler:
                     "metrics": None,
                     "error": (
                         f"fabric: {event.reason} "
-                        f"(attempt {attempts}/{self.config.max_attempts})"
+                        f"(attempt {attempts}/{config.max_attempts})"
                     ),
                     "duration_s": 0.0,
                     "finished_at": time.time(),
                     "worker": 0,
                 })
-        return requeue

@@ -242,3 +242,145 @@ def run_all_selfchecks(workdir: str, **kwargs: object) -> List[SelfCheckResult]:
         run_selfcheck(backend, os.path.join(workdir, backend), **kwargs)
         for backend in BACKENDS
     ]
+
+
+@dataclass
+class GcSelfCheckResult:
+    """Outcome of one backend's gc-crash atomicity check.
+
+    Attributes:
+        backend: Store backend exercised.
+        gc_returncode: Exit status of the SIGKILLed ``campaign gc``
+            (should be ``-SIGKILL``).
+        errors_dropped: Superseded error records the clean re-gc
+            dropped (must be >= 1 or the check proved nothing).
+        mismatches: Human-readable problems (empty = pass).
+    """
+
+    backend: str
+    gc_returncode: int
+    errors_dropped: int
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the killed gc left the store intact."""
+        return not self.mismatches
+
+
+def run_gc_selfcheck(
+    backend: str,
+    workdir: str,
+    cells: int = 6,
+    deadline_s: float = 60.0,
+) -> GcSelfCheckResult:
+    """Prove gc compaction is atomic under SIGKILL for one backend.
+
+    Builds a store with real debris (a worker-crash cell whose error
+    record is later superseded by a clean resume), then runs
+    ``repro campaign gc`` as a subprocess with a ``gc.crash`` fault
+    plan in its environment -- the fault plane SIGKILLs the gc inside
+    its crash window (before the atomic rename for the line-append
+    backends; between DELETE and commit for sqlite).  The store must
+    be untouched: every cell's content identical, the superseded error
+    debris still present for a clean re-gc to drop.
+
+    Args:
+        backend: ``jsonl``, ``sqlite`` or ``shards``.
+        workdir: Scratch directory (created if missing).
+        cells: Plain no-op cells in the grid (one crash cell added).
+        deadline_s: Per-subprocess wall-clock budget.
+
+    Returns:
+        A :class:`GcSelfCheckResult`; ``result.ok`` is the verdict.
+    """
+    from .faults import FaultPlan, FaultSpec
+
+    if backend not in BACKENDS:
+        raise CampaignError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{tuple(BACKENDS)}"
+        )
+    os.makedirs(workdir, exist_ok=True)
+
+    # 1. Debris: the crash cell's first attempt kills its worker with
+    # no retry budget, recording an error; the resume supersedes it
+    # with an ok record.  That superseded error is what gc drops.
+    crash_flag = os.path.join(workdir, "crash.flag")
+    spec = calibration_campaign(
+        cells=cells, spin_ms=0.0, crash_flags=(crash_flag,),
+        name=f"gc-selfcheck-{backend}",
+    )
+    store_path = os.path.join(workdir, STORE_NAMES[backend])
+    run_campaign(spec, store_path, workers=2, executor="pool",
+                 max_attempts=1)
+    run_campaign(spec, store_path, workers=2, executor="pool",
+                 max_attempts=1, resume=True)
+    before = _ok_content(store_path)
+    mismatches: List[str] = []
+    if len(before) != spec.cell_count():
+        mismatches.append(
+            f"debris setup incomplete: {len(before)}/{spec.cell_count()} "
+            "cells ok before gc"
+        )
+
+    # 2. SIGKILL a real gc subprocess inside its crash window.
+    plan = FaultPlan(
+        chaos_seed=0,
+        specs=(FaultSpec("gc.crash"),),
+        state_dir=os.path.join(workdir, "fault-state"),
+    )
+    plan_path = os.path.join(workdir, "fault-plan.json")
+    plan.save(plan_path)
+    env = _subprocess_env()
+    env["REPRO_FAULT_PLAN"] = plan_path
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "gc",
+         "--store", store_path],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        output, _ = child.communicate(timeout=deadline_s)
+    except subprocess.TimeoutExpired:
+        child.kill()
+        child.communicate()
+        raise CampaignError(
+            f"gc-selfcheck[{backend}]: killed gc exceeded {deadline_s:.0f}s"
+        ) from None
+    if child.returncode != -signal.SIGKILL:
+        mismatches.append(
+            f"gc subprocess exited {child.returncode}, expected "
+            f"-SIGKILL ({-signal.SIGKILL}); the crash never fired:\n"
+            f"{output}"
+        )
+
+    # 3. The killed gc must have changed nothing visible.
+    after = _ok_content(store_path)
+    if after != before:
+        mismatches.append(
+            "store content changed across the killed gc "
+            f"({len(before)} -> {len(after)} ok cells)"
+        )
+
+    # 4. A clean re-gc succeeds and drops the superseded error.
+    errors_dropped = 0
+    try:
+        stats = open_store(store_path).gc()
+        errors_dropped = stats.errors_dropped
+    except CampaignError as exc:
+        mismatches.append(f"clean re-gc failed: {exc}")
+    else:
+        if errors_dropped < 1:
+            mismatches.append(
+                "clean re-gc dropped no superseded error records; the "
+                "killed gc must have committed after all"
+            )
+        if _ok_content(store_path) != before:
+            mismatches.append("store content changed across the clean re-gc")
+    return GcSelfCheckResult(
+        backend=backend,
+        gc_returncode=child.returncode,
+        errors_dropped=errors_dropped,
+        mismatches=mismatches,
+    )

@@ -16,9 +16,11 @@ offset, a sqlite sequence number, a per-shard offset map).
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
-from typing import Any, Optional, TextIO
+from typing import Any, Dict, Optional, TextIO
 
 from ...analysis.report import ExperimentReport
 from ..stores import open_store
@@ -42,6 +44,66 @@ def render_deltas(deltas: "list[tuple[str, int, int]]") -> str:
         if failed_delta:
             parts.append(f"{failed_delta:+d} failed")
         lines.append(f"  delta {kind:<10} {', '.join(parts)}")
+    return "\n".join(lines)
+
+
+def load_fabric_health(store: Any) -> Optional[Dict[str, Any]]:
+    """The scheduler's checkpoint sidecar, or ``None``.
+
+    The sidecar (``fabric.json`` next to the store) is where the
+    scheduler persists degradation state -- retry attempts, worker-kill
+    attribution, quarantined cells, executor downgrades and pending
+    backoff waits.  Watching tolerates a missing or torn sidecar (the
+    writer may be mid-``os.replace``).
+    """
+    path = store.sidecar_path("fabric.json")
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def render_fabric_health(checkpoint: Dict[str, Any],
+                         now_wall: Optional[float] = None) -> str:
+    """Degradation lines for one watch tick (empty if all healthy).
+
+    Surfaces the hardening state a long watch actually needs: which
+    cells are quarantined as poison, whether the crash-loop breaker
+    degraded the executor, and which cells are sitting out a backoff
+    wait (with seconds remaining against the wall clock).
+    """
+    now = time.time() if now_wall is None else now_wall
+    lines = []
+    quarantined = checkpoint.get("quarantined") or []
+    if quarantined:
+        shown = ", ".join(quarantined[:3])
+        more = f" (+{len(quarantined) - 3} more)" if len(quarantined) > 3 else ""
+        lines.append(
+            f"  fabric: {len(quarantined)} quarantined poison cell(s): "
+            f"{shown}{more}"
+        )
+    degraded = checkpoint.get("degraded")
+    if degraded:
+        lines.append(f"  fabric: executor degraded -- {degraded}")
+    backoff = checkpoint.get("backoff") or {}
+    waiting = sorted(
+        (until - now, cell_id)
+        for cell_id, until in backoff.items()
+        if until - now > 0
+    )
+    if waiting:
+        head = ", ".join(
+            f"{cell_id} ({left:.1f}s)" for left, cell_id in waiting[:3]
+        )
+        more = f" (+{len(waiting) - 3} more)" if len(waiting) > 3 else ""
+        lines.append(
+            f"  fabric: {len(waiting)} cell(s) in retry backoff: "
+            f"{head}{more}"
+        )
     return "\n".join(lines)
 
 
@@ -115,6 +177,11 @@ def watch_store(
         print(render_snapshot(snapshot), file=out, flush=True)
         if ticks and deltas:
             print(render_deltas(deltas), file=out, flush=True)
+        checkpoint = load_fabric_health(store)
+        if checkpoint is not None:
+            health = render_fabric_health(checkpoint)
+            if health:
+                print(health, file=out, flush=True)
         if report is not None and (records or ticks == 0):
             aggregator.refresh_report(report)
             report.save(report_path)

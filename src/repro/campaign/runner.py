@@ -50,6 +50,12 @@ class CampaignRunSummary:
         records: The records appended by this invocation.
         retried: Cell attempts beyond the first (crashes, timeouts,
             requeues) absorbed by the fabric.
+        quarantined: Cells quarantined as poison (each killed
+            ``poison_threshold`` workers and got a synthesized
+            ``fabric:poison`` error record instead of more respawns).
+        degraded: Degradation note when the crash-loop breaker swapped
+            a repeatedly-dying executor for ``inline`` (``None``
+            otherwise).
     """
 
     total: int
@@ -59,6 +65,8 @@ class CampaignRunSummary:
     duration_s: float
     records: List[CellRecord] = field(default_factory=list)
     retried: int = 0
+    quarantined: int = 0
+    degraded: Optional[str] = None
 
     @property
     def completed(self) -> int:
@@ -73,6 +81,12 @@ def execute_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
     process pool; also the ``workers == 1`` code path, so both modes
     share one implementation.
     """
+    if os.environ.get("REPRO_FAULT_PLAN"):
+        # The fault plane's cell sites (crash/hang/slow) fire here, in
+        # whatever process executes the cell.  Lazy import: the fabric
+        # imports this module at import time.
+        from .fabric.faults import fire_cell_faults
+        fire_cell_faults(payload["cell_id"])
     scale = ExperimentScale.from_dict(payload["scale"]).with_seed(
         int(payload["seed"])
     )
@@ -138,6 +152,10 @@ def run_campaign(
     cell_timeout_s: Optional[float] = None,
     durability: Optional[DurabilityPolicy] = None,
     shards: Optional[int] = None,
+    backoff_base_s: float = 0.05,
+    backoff_cap_s: float = 2.0,
+    poison_threshold: int = 3,
+    crashloop_threshold: int = 5,
 ) -> CampaignRunSummary:
     """Execute a campaign against a persistent store.
 
@@ -162,6 +180,14 @@ def run_campaign(
         durability: Store durability policy (default: fsync on every
             record).
         shards: Shard count for the sharded-directory backend.
+        backoff_base_s: First-retry backoff scale (retries wait an
+            exponentially-growing, deterministically-jittered delay).
+        backoff_cap_s: Upper bound the retry backoff saturates at.
+        poison_threshold: Worker deaths attributed to one cell before
+            it is quarantined with a ``fabric:poison`` record.
+        crashloop_threshold: Consecutive no-progress worker-death
+            polls before a ``pool``/``spawn`` executor is degraded to
+            ``inline``.
 
     Returns:
         A :class:`CampaignRunSummary`; per-cell failures are recorded,
@@ -184,6 +210,10 @@ def run_campaign(
         cell_timeout_s=cell_timeout_s,
         durability=durability,
         shards=shards,
+        backoff_base_s=backoff_base_s,
+        backoff_cap_s=backoff_cap_s,
+        poison_threshold=poison_threshold,
+        crashloop_threshold=crashloop_threshold,
     )
     scheduler = CampaignScheduler(spec, store_path, config)
     return scheduler.run(resume=resume, progress=progress)

@@ -21,6 +21,7 @@ callers (and stores on disk) keep working unchanged.
 
 from __future__ import annotations
 
+import errno as errno_mod
 import json
 import os
 import time
@@ -43,6 +44,16 @@ from .spec import CampaignSpec, canonical_json
 #: Record discriminators on the ``type`` field of each record.
 HEADER_TYPE = "campaign"
 CELL_TYPE = "cell"
+
+#: errno values treated as *transient* on append: the media is busy or
+#: momentarily full, not corrupt, so a bounded retry is safe.  Anything
+#: else (and any integrity error) still refuses immediately.
+TRANSIENT_APPEND_ERRNOS = frozenset({
+    errno_mod.EIO, errno_mod.ENOSPC, errno_mod.EAGAIN, errno_mod.EINTR,
+})
+
+#: Retries (beyond the first try) one append gets on transient errors.
+APPEND_RETRIES = 3
 
 
 @dataclass
@@ -354,8 +365,60 @@ class CampaignStoreBase(ABC):
         return {r.cell_id for r in self.cell_records() if r.ok}
 
     def append_cell(self, record: CellRecord) -> None:
-        """Persist one finished cell."""
-        self._append_payload(record.to_dict())
+        """Persist one finished cell, absorbing transient I/O errors.
+
+        An ``OSError`` whose errno is in :data:`TRANSIENT_APPEND_ERRNOS`
+        (EIO, ENOSPC, EAGAIN, EINTR -- busy or momentarily full media)
+        gets up to :data:`APPEND_RETRIES` retries: the backend first
+        recovers its append state (:meth:`_recover_append` reopens
+        handles, which also heals any partial line the failed write
+        tore into the file), then waits a short deterministic backoff.
+        Anything else -- and every integrity refusal -- propagates
+        unchanged: corruption is never retried into.
+        """
+        payload = record.to_dict()
+        attempt = 0
+        while True:
+            try:
+                if os.environ.get("REPRO_FAULT_PLAN"):
+                    # Lazy: fabric imports this module at import time.
+                    from .fabric.faults import fire_store_append
+                    fire_store_append(self, payload)
+                self._append_payload(payload)
+                return
+            except OSError as exc:
+                if (
+                    exc.errno not in TRANSIENT_APPEND_ERRNOS
+                    or attempt >= APPEND_RETRIES
+                ):
+                    raise CampaignError(
+                        f"store {self.path!r}: append of "
+                        f"{record.cell_id!r} failed after "
+                        f"{attempt + 1} attempt(s): {exc}"
+                    ) from exc
+                attempt += 1
+                self._recover_append()
+                from .fabric.faults import backoff_delay
+                time.sleep(backoff_delay(
+                    f"append:{record.cell_id}", attempt,
+                    base_s=0.01, cap_s=0.2,
+                ))
+
+    def _recover_append(self) -> None:
+        """Reset append state after a transient write failure.
+
+        Backends with persistent handles reopen them here so the next
+        try starts from a clean handle (and, for line-append backends,
+        a healed tail).  The base implementation is a no-op.
+        """
+
+    def _torn_write(self, payload: Dict[str, Any]) -> None:
+        """Tear a partial line into the backend's file (fault plane).
+
+        Only meaningful for line-append backends; the default is a
+        no-op so injecting ``torn`` into a backend without a torn-write
+        concept degrades to a plain transient error.
+        """
 
     def sidecar_path(self, name: str) -> str:
         """Where scheduler sidecar state (checkpoints) lives."""
@@ -465,6 +528,11 @@ def gc_jsonl_file(path: str) -> Tuple[int, int, int]:
             handle.write(json.dumps(payload, sort_keys=True) + "\n")
         handle.flush()
         os.fsync(handle.fileno())
+    if os.environ.get("REPRO_FAULT_PLAN"):
+        # The crash window the gc selfcheck rehearses: dying here must
+        # leave the original file untouched (plus a stray .gc temp).
+        from .fabric.faults import fire_gc_crash
+        fire_gc_crash()
     os.replace(tmp, path)
     cells_kept = sum(1 for p in kept if p.get("type") == CELL_TYPE)
     return cells_kept, dropped, size - valid_end
@@ -548,6 +616,24 @@ class JsonlCampaignStore(CampaignStoreBase):
             self.flush()
             self._handle.close()
             self._handle = None
+
+    def _recover_append(self) -> None:
+        # Drop the persistent handle; the next write reopens through
+        # open_jsonl_append, which truncates any torn tail the failed
+        # write left behind.
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+            self._unsynced = 0
+
+    def _torn_write(self, payload: Dict[str, Any]) -> None:
+        with open(self.path, "ab") as handle:
+            handle.write(b'{"type": "cell", "cell_id": "to')
+            handle.flush()
+            os.fsync(handle.fileno())
 
     # -- compaction ------------------------------------------------------
 

@@ -161,6 +161,24 @@ class ShardedCampaignStore(CampaignStoreBase):
                 os.fsync(handle.fileno())
                 self._unsynced[index] = 0
 
+    def _recover_append(self) -> None:
+        # Drop every shard handle; reopening goes through
+        # open_jsonl_append, which truncates torn tails per shard.
+        for handle in self._handles.values():
+            try:
+                handle.close()
+            except OSError:
+                pass
+        self._handles.clear()
+        self._unsynced.clear()
+
+    def _torn_write(self, payload: Dict[str, Any]) -> None:
+        index = shard_index(payload["cell_id"], self.shard_count())
+        with open(self._shard_path(index), "ab") as handle:
+            handle.write(b'{"type": "cell", "cell_id": "to')
+            handle.flush()
+            os.fsync(handle.fileno())
+
     def close(self) -> None:
         self.flush()
         for handle in self._handles.values():

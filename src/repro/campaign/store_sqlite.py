@@ -205,6 +205,11 @@ class SqliteCampaignStore(CampaignStoreBase):
                 "DELETE FROM cells WHERE status != 'ok' AND cell_id IN "
                 "(SELECT cell_id FROM cells WHERE status = 'ok')"
             ).rowcount
+            if os.environ.get("REPRO_FAULT_PLAN"):
+                # Crash window: dying before the commit rolls the
+                # DELETE back, so a killed gc changes nothing.
+                from .fabric.faults import fire_gc_crash
+                fire_gc_crash()
             conn.commit()
             conn.execute("VACUUM")
             kept = conn.execute("SELECT COUNT(*) FROM cells").fetchone()[0]

@@ -39,7 +39,12 @@ sqlite backend, ``--store results.shards/`` a sharded directory;
 ``campaign watch`` and ``report`` work on any of them.  ``campaign
 selfcheck`` proves the fabric's durability claim end to end (SIGKILL
 mid-grid, resume, byte-compare cell content against an uninterrupted
-run).
+run; plus a SIGKILL inside ``gc``'s compaction crash window proving
+the rewrite atomic).  ``campaign chaos`` is its fault-injection twin:
+a deterministic fault matrix (worker crashes, hangs, torn/failing
+store appends, checkpoint corruption, crash loops, poison cells)
+against every backend, asserting the surviving store is bit-identical
+in cell content to a clean run.
 
 ``campaign run --smoke`` substitutes a seconds-long 2x2 grid (an
 end-to-end check used by CI); ``--paper-scale`` runs the full
@@ -256,6 +261,10 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             cell_timeout_s=args.cell_timeout,
             durability=args.fsync_every,
             shards=args.shards,
+            backoff_base_s=args.backoff_base,
+            backoff_cap_s=args.backoff_cap,
+            poison_threshold=args.poison_threshold,
+            crashloop_threshold=args.crashloop_threshold,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -267,6 +276,11 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     if summary.retried:
         print(f"fabric absorbed {summary.retried} retried cell attempts "
               "(worker crashes / timeouts)")
+    if summary.quarantined:
+        print(f"fabric quarantined {summary.quarantined} poison cell(s) "
+              "-- see their fabric:poison error records")
+    if summary.degraded:
+        print(f"fabric degraded executor: {summary.degraded}")
     return 1 if summary.failed else 0
 
 
@@ -304,7 +318,7 @@ def cmd_campaign_watch(args: argparse.Namespace) -> int:
 def cmd_campaign_selfcheck(args: argparse.Namespace) -> int:
     import tempfile
 
-    from .campaign.fabric import run_selfcheck
+    from .campaign.fabric import run_gc_selfcheck, run_selfcheck
 
     workdir = args.workdir or tempfile.mkdtemp(prefix="repro-selfcheck-")
     backends = args.backends or sorted(BACKENDS)
@@ -334,6 +348,62 @@ def cmd_campaign_selfcheck(args: argparse.Namespace) -> int:
             for mismatch in result.mismatches:
                 print(f"  {mismatch}")
             failures += 1
+    for backend in backends:
+        try:
+            gc_result = run_gc_selfcheck(
+                backend, workdir=f"{workdir}/{backend}-gc"
+            )
+        except ReproError as exc:
+            print(f"gc-selfcheck[{backend}]: error: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        if gc_result.ok:
+            print(f"gc-selfcheck[{backend}]: PASS -- gc SIGKILLed in its "
+                  "crash window left the store untouched; clean re-gc "
+                  f"dropped {gc_result.errors_dropped} superseded "
+                  "error record(s)")
+        else:
+            print(f"gc-selfcheck[{backend}]: FAIL -- "
+                  f"{len(gc_result.mismatches)} problem(s)")
+            for mismatch in gc_result.mismatches:
+                print(f"  {mismatch}")
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_campaign_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .campaign.fabric import run_chaos_matrix
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        results = run_chaos_matrix(
+            workdir,
+            backends=args.backends,
+            faults=args.faults,
+            quick=args.quick,
+            chaos_seed=args.chaos_seed,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    failures = 0
+    for result in results:
+        tag = f"chaos[{result.backend}/{result.fault}]"
+        if result.ok:
+            note = f" -- {result.detail}" if result.detail else ""
+            print(f"{tag}: PASS -- fault fired {result.fired}x, survivor "
+                  f"bit-identical to clean run "
+                  f"({result.duration_s:.1f}s){note}")
+        else:
+            failures += 1
+            print(f"{tag}: FAIL -- fault fired {result.fired}x, "
+                  f"{len(result.mismatches)} problem(s)")
+            for mismatch in result.mismatches:
+                print(f"  {mismatch}")
+    print(f"chaos matrix: {len(results) - failures}/{len(results)} "
+          f"cases survived (workdir={workdir})")
     return 1 if failures else 0
 
 
@@ -415,6 +485,19 @@ def _add_campaign_subcommands(
                           "(0 = only on close)")
     run.add_argument("--shards", type=int, default=None,
                      help="shard count for a new sharded-directory store")
+    run.add_argument("--backoff-base", type=float, default=0.05,
+                     metavar="SECONDS",
+                     help="first-retry backoff scale (exponential, "
+                          "deterministically jittered)")
+    run.add_argument("--backoff-cap", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="upper bound the retry backoff saturates at")
+    run.add_argument("--poison-threshold", type=int, default=3,
+                     help="worker deaths attributed to one cell before "
+                          "it is quarantined")
+    run.add_argument("--crashloop-threshold", type=int, default=5,
+                     help="consecutive no-progress worker-death polls "
+                          "before the executor degrades to inline")
     run.set_defaults(func=cmd_campaign_run)
 
     status = actions.add_parser("status", help="progress of a store")
@@ -464,6 +547,28 @@ def _add_campaign_subcommands(
     selfcheck.add_argument("--kill-after", type=int, default=4,
                            help="completed cells before the SIGKILL")
     selfcheck.set_defaults(func=cmd_campaign_selfcheck)
+
+    chaos = actions.add_parser(
+        "chaos",
+        help="deterministic fault matrix: inject every fault class "
+             "(crashes, hangs, store I/O errors, checkpoint corruption, "
+             "crash loops, poison cells) against every store backend and "
+             "assert the surviving store is bit-identical in cell "
+             "content to a clean run",
+    )
+    chaos.add_argument("--backends", nargs="+", default=None,
+                       choices=sorted(BACKENDS),
+                       help="store backends to torment (default: all)")
+    chaos.add_argument("--faults", nargs="+", default=None,
+                       help="fault classes to inject (default: all)")
+    chaos.add_argument("--workdir", default=None,
+                       help="scratch directory (default: a tempdir)")
+    chaos.add_argument("--quick", action="store_true",
+                       help="small grid and short delays (CI profile)")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed folded into fault target selection "
+                            "(recorded in every plan for reproduction)")
+    chaos.set_defaults(func=cmd_campaign_chaos)
 
 
 def build_parser() -> argparse.ArgumentParser:

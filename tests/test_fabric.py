@@ -74,6 +74,44 @@ class TestExecutors:
                 str(tmp_path / "x.jsonl"), workers=0,
             )
 
+    def _unit(self, unit_id=0):
+        from repro.campaign.fabric.executors import WorkUnit
+
+        payload = {
+            "cell_id": f"noop:index={unit_id}", "kind": "noop",
+            "params": {"index": unit_id}, "seed": 1,
+            "spec_hash": "x" * 16, "scale": {},
+        }
+        return WorkUnit(unit_id=unit_id, payloads=(payload,))
+
+    @pytest.mark.parametrize("name,workers", [
+        ("inline", 1), ("pool", 2), ("spawn", 2),
+    ])
+    def test_abandon_returns_pending_not_worker_death(self, name, workers):
+        """The crash-loop breaker relies on abandon(): every queued
+        payload comes back as an orderly UnitFailed so it can be
+        resubmitted elsewhere, with ``worker_death`` unset so abandoned
+        cells never accumulate kills toward quarantine."""
+        from repro.campaign.fabric.executors import UnitFailed
+
+        executor = make_executor(name, workers)
+        executor.start()
+        try:
+            units = [self._unit(i) for i in range(3)]
+            for unit in units:
+                executor.submit(unit)
+            abandoned = executor.abandon()
+        finally:
+            executor.shutdown()
+        assert executor.outstanding() == 0
+        pending = [p for event in abandoned for p in event.pending]
+        assert all(isinstance(event, UnitFailed) for event in abandoned)
+        assert all(not event.worker_death for event in abandoned)
+        # Units may already be mid-flight (pool/spawn), so abandon
+        # returns a subset; everything it does return must be intact.
+        for payload in pending:
+            assert payload["kind"] == "noop"
+
 
 class TestCrashRecovery:
     def crash_spec(self, tmp_path, cells=4):
@@ -416,6 +454,45 @@ class TestWatch:
         assert "delta" not in ticks[1]  # baseline tick: no movement
         assert "delta noop       +2 ok" in out
 
+    def test_watch_surfaces_fabric_degradation(self, tmp_path, capsys):
+        """A watcher must see quarantine/degradation/backoff state from
+        the checkpoint sidecar, not just per-cell progress."""
+        import json as json_mod
+        import time as time_mod
+
+        spec = calibration_campaign(cells=3, name="degraded")
+        path = str(tmp_path / "h.jsonl")
+        run_campaign(spec, path, workers=1)
+        store = open_store(path)
+        sidecar = {
+            "spec_hash": spec.spec_hash(),
+            "attempts": {},
+            "kills": {"noop:index=0,spin_ms=0.0": 3},
+            "quarantined": ["noop:index=0,spin_ms=0.0"],
+            "degraded": "spawn->inline after 3 consecutive "
+                        "worker-death polls with no completed cells",
+            "backoff": {"noop:index=1,spin_ms=0.0": time_mod.time() + 60},
+            "updated_at": time_mod.time(),
+        }
+        with open(store.sidecar_path("fabric.json"), "w") as handle:
+            json_mod.dump(sidecar, handle)
+        watch_store(path, once=True)
+        out = capsys.readouterr().out
+        assert "1 quarantined poison cell(s)" in out
+        assert "noop:index=0,spin_ms=0.0" in out
+        assert "executor degraded -- spawn->inline" in out
+        assert "1 cell(s) in retry backoff" in out
+
+    def test_watch_tolerates_torn_sidecar(self, tmp_path, capsys):
+        spec = calibration_campaign(cells=2, name="torn-sidecar")
+        path = str(tmp_path / "t.jsonl")
+        run_campaign(spec, path, workers=1)
+        store = open_store(path)
+        with open(store.sidecar_path("fabric.json"), "w") as handle:
+            handle.write('{"quarantined": ["noo')  # writer mid-replace
+        snapshot = watch_store(path, once=True)
+        assert snapshot.complete  # torn health never breaks the watch
+
 
 class TestFabricCli:
     def test_calibration_run_and_watch(self, tmp_path, capsys):
@@ -474,3 +551,21 @@ class TestFabricCli:
         assert "noop" in capsys.readouterr().out
         assert main(["campaign", "report", "--store", store]) == 0
         assert "Scheduler calibration" in capsys.readouterr().out
+
+    def test_chaos_subcommand_single_case(self, tmp_path, capsys):
+        """One cheap case through the real CLI; the full matrix is the
+        CI chaos step's job."""
+        assert main([
+            "campaign", "chaos", "--quick", "--backends", "jsonl",
+            "--faults", "slow", "--workdir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chaos[jsonl/slow]: PASS" in out
+        assert "1/1 cases survived" in out
+
+    def test_chaos_rejects_unknown_fault(self, tmp_path, capsys):
+        assert main([
+            "campaign", "chaos", "--quick", "--faults", "gremlins",
+            "--workdir", str(tmp_path),
+        ]) == 2
+        assert "unknown fault class" in capsys.readouterr().err

@@ -10,9 +10,11 @@ The shards backend is covered by the CI selfcheck step; tier-1 keeps
 to jsonl + sqlite so the suite stays fast.
 """
 
+import signal
+
 import pytest
 
-from repro.campaign import run_selfcheck
+from repro.campaign import run_gc_selfcheck, run_selfcheck
 
 
 @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
@@ -30,3 +32,20 @@ def test_kill_mid_grid_then_resume_matches_reference(tmp_path, backend):
     assert result.ok, f"kill/resume mismatches: {result.mismatches}"
     assert result.total == 11  # the requested cells plus the crash cell
     assert result.resumed_executed >= 1
+
+
+@pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+def test_gc_killed_in_crash_window_changes_nothing(tmp_path, backend):
+    """Compaction atomicity: a SIGKILLed gc must be a perfect no-op.
+
+    The fault plane kills a real ``campaign gc`` subprocess inside its
+    crash window (before the atomic replace for jsonl, between DELETE
+    and commit for sqlite); the store must read back identical, with
+    the superseded-error debris still intact for a clean re-gc.
+    """
+    result = run_gc_selfcheck(backend, str(tmp_path))
+    assert result.gc_returncode == -signal.SIGKILL, (
+        "gc subprocess was not killed by the fault plane"
+    )
+    assert result.ok, f"gc atomicity violations: {result.mismatches}"
+    assert result.errors_dropped >= 1
